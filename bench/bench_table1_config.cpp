@@ -1,0 +1,72 @@
+// Table 1 — "Parameters for gem5+rtl full-system simulations".
+//
+// Regenerates the configuration table from the actual instantiated objects,
+// so what is printed is what every other bench simulates.
+#include <cstdio>
+
+#include "soc/soc.hh"
+
+using namespace g5r;
+
+int main() {
+    Simulation sim;
+    const SocConfig cfg = table1Config();
+    Soc soc{sim, cfg};
+
+    std::printf("Table 1: parameters for gem5+rtl full-system simulations\n");
+    std::printf("---------------------------------------------------------\n");
+    std::printf("Processor      %u cores\n", cfg.numCores);
+    std::printf("Cores          %u-wide issue/retire, %u-entry instruction queue,\n"
+                "               %u-entry ROB, %u LDQ + %u STQ, %.0f GHz\n",
+                cfg.core.width, cfg.core.iqEntries, cfg.core.robEntries,
+                cfg.core.ldqEntries, cfg.core.stqEntries,
+                1e3 / static_cast<double>(cfg.coreClock));
+
+    const auto l1i = cfg.l1iParams();
+    const auto l1d = cfg.l1dParams();
+    const auto l2 = cfg.l2Params();
+    std::printf("Private caches L1I: %uKB, %u-way, %llu cycle, %u MSHRs\n",
+                l1i.sizeBytes / 1024, l1i.assoc,
+                static_cast<unsigned long long>(l1i.lookupLatency), l1i.mshrs);
+    std::printf("               L1D: %uKB, %u-way, %llu cycle, %u MSHRs\n",
+                l1d.sizeBytes / 1024, l1d.assoc,
+                static_cast<unsigned long long>(l1d.lookupLatency), l1d.mshrs);
+    std::printf("               L2: %uKB, %u-way, %llu cycle, %u MSHRs, "
+                "stride prefetcher %s\n",
+                l2.sizeBytes / 1024, l2.assoc,
+                static_cast<unsigned long long>(l2.lookupLatency), l2.mshrs,
+                l2.enablePrefetcher ? "on" : "off");
+
+    const auto llc = cfg.llcBankParams();
+    std::printf("LLC            %uMB total, %u-way, %u B lines, %u banks, "
+                "%u MSHRs per bank,\n               data bank access latency %llu cycles\n",
+                llc.sizeBytes * cfg.llcBanks / (1024 * 1024), llc.assoc, llc.lineSize,
+                cfg.llcBanks, llc.mshrs,
+                static_cast<unsigned long long>(llc.lookupLatency));
+
+    const auto noc = cfg.nocParams();
+    std::printf("NoC            coherent crossbar, %u-bit wide, %llu cycles\n",
+                noc.widthBytes * 8, static_cast<unsigned long long>(noc.forwardLatency));
+
+    std::printf("Main memory    ");
+    for (const MemTech tech : {MemTech::kDdr4_1ch, MemTech::kDdr4_4ch, MemTech::kGddr5,
+                               MemTech::kHbm}) {
+        Simulation s2;
+        BackingStore store;
+        MultiChannelDram dram{s2, "m", dramParamsFor(tech, cfg.memRange), store};
+        std::printf("%s%-9s %u ch, %u banks/rank x%u, %llu B row buffer, "
+                    "%.2f GB/s peak\n",
+                    tech == MemTech::kDdr4_1ch ? "" : "               ",
+                    memTechName(tech), dram.numChannels(),
+                    dramParamsFor(tech, cfg.memRange).channel.banks,
+                    dramParamsFor(tech, cfg.memRange).channel.ranks,
+                    static_cast<unsigned long long>(
+                        dramParamsFor(tech, cfg.memRange).channel.rowBufferBytes),
+                    dram.peakBandwidth() / 1e9);
+    }
+    std::printf("PMU            20 x 32-bit counters, RTL clock %.0f GHz\n",
+                1e3 / static_cast<double>(cfg.rtlClock));
+    std::printf("NVDLA          nv_full-like: 2048 8-bit MACs, 1 GHz, "
+                "credit-capped AXI DMA\n");
+    return 0;
+}

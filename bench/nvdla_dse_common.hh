@@ -1,0 +1,130 @@
+// Shared driver for the Figures 6 and 7 design-space explorations.
+//
+// For one workload, sweeps {1,2,4} accelerator instances x the five memory
+// technologies x the in-flight-request cap, normalises every point to the
+// ideal 1-cycle-memory run with the same instance count and cap, and prints
+// one panel per instance count in the paper's layout. Ends with qualitative
+// shape checks against the paper's findings.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soc/experiments.hh"
+
+namespace g5r::bench {
+
+struct DsePoint {
+    double normalized = 0;
+    Tick runtime = 0;
+    bool ok = false;
+};
+
+using Series = std::map<unsigned, DsePoint>;  // inflight -> point.
+
+struct DseResults {
+    // [numAccel][tech] -> series over the in-flight sweep.
+    std::map<unsigned, std::map<MemTech, Series>> panels;
+    std::map<unsigned, Series> ideal;  // [numAccel] -> ideal runtimes.
+};
+
+inline DseResults runDseSweep(const models::NvdlaShape& shape,
+                              const std::string& workloadName,
+                              const std::vector<unsigned>& accelCounts) {
+    DseResults results;
+    for (const unsigned n : accelCounts) {
+        for (const unsigned inflight : experiments::inflightSweep()) {
+            experiments::DseRunConfig cfg;
+            cfg.shape = shape;
+            cfg.workloadName = workloadName;
+            cfg.numAccelerators = n;
+            cfg.maxInflight = inflight;
+            cfg.numCores = 0;  // Idle cores contribute nothing to this study.
+
+            cfg.memTech = MemTech::kIdeal;
+            const auto idealRun = experiments::runNvdlaDse(cfg);
+            results.ideal[n][inflight] =
+                DsePoint{1.0, idealRun.runtimeTicks,
+                         idealRun.completed && idealRun.checksumsOk};
+
+            for (const MemTech tech : experiments::memTechSeries()) {
+                cfg.memTech = tech;
+                const auto run = experiments::runNvdlaDse(cfg);
+                DsePoint point;
+                point.runtime = run.runtimeTicks;
+                point.ok = run.completed && run.checksumsOk;
+                point.normalized = experiments::normalizedPerf(idealRun, run);
+                results.panels[n][tech][inflight] = point;
+            }
+        }
+    }
+    return results;
+}
+
+inline int printAndCheckDse(const DseResults& results, const std::string& figure,
+                            const std::string& workloadName) {
+    std::printf("# %s: design-space exploration, %s workload\n", figure.c_str(),
+                workloadName.c_str());
+    std::printf("# performance normalized to an ideal 1-cycle main memory\n");
+
+    bool allOk = true;
+    for (const auto& [n, techs] : results.panels) {
+        std::printf("\n(%c) %u NVDLA accelerator%s\n",
+                    static_cast<char>('a' + (n == 1 ? 0 : (n == 2 ? 1 : 2))), n,
+                    n == 1 ? "" : "s");
+        std::printf("%-10s", "maxreq");
+        for (const unsigned inflight : experiments::inflightSweep()) {
+            std::printf(" %7u", inflight);
+        }
+        std::printf("\n");
+        for (const MemTech tech : experiments::memTechSeries()) {
+            std::printf("%-10s", memTechName(tech));
+            for (const unsigned inflight : experiments::inflightSweep()) {
+                const DsePoint& p = techs.at(tech).at(inflight);
+                std::printf(" %7.3f", p.normalized);
+                allOk = allOk && p.ok;
+            }
+            std::printf("\n");
+        }
+    }
+
+    // ---- qualitative shape checks (the paper's findings) -------------------
+    int failures = 0;
+    auto check = [&](bool ok, const std::string& what) {
+        std::printf("[%s] %s\n", ok ? "PASS" : "WARN", what.c_str());
+        if (!ok) ++failures;
+    };
+    auto at = [&](unsigned n, MemTech tech, unsigned inflight) {
+        return results.panels.at(n).at(tech).at(inflight).normalized;
+    };
+
+    check(allOk, "every run completed with a verified datapath checksum");
+
+    // Starvation: one permitted request cripples every technology.
+    check(at(1, MemTech::kHbm, 1) < 0.4, "1 in-flight request is latency-crippled");
+
+    // The paper's headline: >= 64 in-flight requests needed to perform well.
+    check(at(1, MemTech::kHbm, 64) > 0.85,
+          "64 in-flight requests suffice on high-bandwidth memory (1 instance)");
+    check(at(1, MemTech::kHbm, 64) > at(1, MemTech::kHbm, 4) + 0.2,
+          "a deep in-flight window is essential (64 far better than 4)");
+
+    // Technology ordering at full concurrency, 4 instances.
+    if (results.panels.count(4) > 0) {
+        check(at(4, MemTech::kDdr4_1ch, 240) < at(4, MemTech::kDdr4_4ch, 240),
+              "with 4 instances, DDR4-1ch is clearly worse than DDR4-4ch");
+        check(at(4, MemTech::kDdr4_4ch, 240) < at(4, MemTech::kHbm, 240) + 1e-9,
+              "with 4 instances, HBM is at least as good as DDR4-4ch");
+        // Scaling pressure: 4 instances do worse (normalized) than 1 on DDR4.
+        check(at(4, MemTech::kDdr4_1ch, 240) < at(1, MemTech::kDdr4_1ch, 240),
+              "DDR4-1ch degrades as instances are added");
+    }
+    return failures;
+}
+
+/// Accelerator counts: {1,2,4} like the paper; trimmed in quick CI runs.
+inline std::vector<unsigned> accelSweep() { return {1u, 2u, 4u}; }
+
+}  // namespace g5r::bench

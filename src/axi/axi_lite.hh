@@ -1,0 +1,140 @@
+// AXI4-Lite bus-functional model.
+//
+// The paper's PMU "is interfaced through the Arm AXI protocol for reading
+// and writing the counters and its configuration". This header provides the
+// five AXI-Lite channels (AW, W, B, AR, R) with per-cycle valid/ready
+// handshakes and a slave-side sequencer that model wrappers place between
+// the bridge's device channel and their register file — so the register
+// interface of a model really is an AXI endpoint, not an ad-hoc decode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace g5r::axi {
+
+/// Write/read address channel beat (AW / AR).
+struct AddrBeat {
+    bool valid = false;
+    std::uint64_t addr = 0;
+};
+
+/// Write data channel beat (W).
+struct WriteBeat {
+    bool valid = false;
+    std::uint64_t data = 0;
+    std::uint8_t strb = 0xFF;  ///< Byte-lane strobes.
+};
+
+/// Write response channel beat (B).
+struct WriteResp {
+    bool valid = false;
+    std::uint8_t resp = 0;  ///< 0 = OKAY.
+};
+
+/// Read data channel beat (R).
+struct ReadBeat {
+    bool valid = false;
+    std::uint64_t data = 0;
+    std::uint8_t resp = 0;
+};
+
+/// A single-outstanding AXI4-Lite slave endpoint.
+///
+/// Drive cycle() once per clock with the master-side beats; the returned
+/// ready/response signals follow AXI rules: AW and W may arrive in either
+/// order or together; the write executes when both have been accepted and B
+/// is held valid until bready; reads execute on AR acceptance with R data
+/// valid the next cycle and held until rready.
+class AxiLiteSlave {
+public:
+    using ReadFn = std::function<std::uint64_t(std::uint64_t addr)>;
+    using WriteFn = std::function<void(std::uint64_t addr, std::uint64_t data,
+                                       std::uint8_t strb)>;
+
+    struct Inputs {
+        AddrBeat aw;
+        WriteBeat w;
+        bool bready = true;
+        AddrBeat ar;
+        bool rready = true;
+    };
+
+    struct Outputs {
+        bool awready = false;
+        bool wready = false;
+        WriteResp b;
+        bool arready = false;
+        ReadBeat r;
+    };
+
+    AxiLiteSlave(ReadFn readFn, WriteFn writeFn)
+        : readFn_(std::move(readFn)), writeFn_(std::move(writeFn)) {}
+
+    /// Advance one clock cycle.
+    Outputs cycle(const Inputs& in) {
+        Outputs out;
+
+        // Response holds: B/R stay valid until the master is ready.
+        if (bPending_) {
+            out.b.valid = true;
+            if (in.bready) bPending_ = false;
+        }
+        if (rPending_.has_value()) {
+            out.r.valid = true;
+            out.r.data = *rPending_;
+            if (in.rready) rPending_.reset();
+        }
+
+        // Write address/data acceptance (either order, single outstanding).
+        if (in.aw.valid && !awHeld_.has_value() && !bPending_) {
+            awHeld_ = in.aw.addr;
+            out.awready = true;
+        }
+        if (in.w.valid && !wHeld_.has_value() && !bPending_) {
+            wHeld_ = in.w;
+            out.wready = true;
+        }
+        if (awHeld_.has_value() && wHeld_.has_value()) {
+            writeFn_(*awHeld_, wHeld_->data, wHeld_->strb);
+            awHeld_.reset();
+            wHeld_.reset();
+            bPending_ = true;
+        }
+
+        // Read address acceptance: data appears on the next cycle.
+        if (in.ar.valid && !rPending_.has_value() && !arHeld_.has_value()) {
+            arHeld_ = in.ar.addr;
+            out.arready = true;
+        } else if (arHeld_.has_value()) {
+            rPending_ = readFn_(*arHeld_);
+            arHeld_.reset();
+        }
+
+        return out;
+    }
+
+    void reset() {
+        awHeld_.reset();
+        wHeld_.reset();
+        arHeld_.reset();
+        rPending_.reset();
+        bPending_ = false;
+    }
+
+    bool idle() const {
+        return !awHeld_ && !wHeld_ && !arHeld_ && !rPending_ && !bPending_;
+    }
+
+private:
+    ReadFn readFn_;
+    WriteFn writeFn_;
+    std::optional<std::uint64_t> awHeld_;
+    std::optional<WriteBeat> wHeld_;
+    std::optional<std::uint64_t> arHeld_;
+    std::optional<std::uint64_t> rPending_;
+    bool bPending_ = false;
+};
+
+}  // namespace g5r::axi

@@ -1,0 +1,245 @@
+#include "bridge/rtl_object.hh"
+
+#include <cstring>
+
+namespace g5r {
+
+RtlObject::RtlObject(Simulation& sim, std::string objName, const RtlObjectParams& params,
+                     std::unique_ptr<RtlModel> model, HwEventBus* eventBus, Tlb* tlb)
+    : ClockedObject(sim, std::move(objName), params.clockPeriod),
+      params_(params),
+      model_(std::move(model)),
+      eventBus_(eventBus),
+      tlb_(tlb),
+      tickEvent_([this] { tick(); }, name() + ".tick"),
+      statTicks_(stats_.scalar("ticks", "RTL clock ticks delivered to the model")),
+      statDevReads_(stats_.scalar("devReads", "device-channel reads")),
+      statDevWrites_(stats_.scalar("devWrites", "device-channel writes")),
+      statMemReads_(stats_.scalar("memReads", "model memory read requests")),
+      statMemWrites_(stats_.scalar("memWrites", "model memory write requests")),
+      statBytesRead_(stats_.scalar("bytesRead", "bytes read by the model")),
+      statBytesWritten_(stats_.scalar("bytesWritten", "bytes written by the model")),
+      statZeroCreditTicks_(stats_.scalar("zeroCreditTicks",
+                                         "ticks with no in-flight credits available")),
+      statIrqEdges_(stats_.scalar("irqEdges", "interrupt line level changes")),
+      statOutstanding_(stats_.distribution("outstanding",
+                                           "outstanding memory requests per tick")) {
+    simAssert(model_ != nullptr, "RtlObject needs a model");
+    for (unsigned i = 0; i < kNumCpuSidePorts; ++i) {
+        cpuPorts_[i] = std::make_unique<CpuSidePort>(
+            name() + ".cpu_side" + std::to_string(i), *this, i);
+    }
+    for (unsigned i = 0; i < kNumMemSidePorts; ++i) {
+        memPorts_[i] = std::make_unique<MemSidePort>(
+            name() + ".mem_side" + std::to_string(i), *this, i);
+    }
+}
+
+RtlObject::~RtlObject() = default;
+
+ResponsePort& RtlObject::cpuSidePort(unsigned idx) {
+    simAssert(idx < kNumCpuSidePorts, "cpu-side port index out of range");
+    return *cpuPorts_[idx];
+}
+
+RequestPort& RtlObject::memSidePort(unsigned idx) {
+    simAssert(idx < kNumMemSidePorts, "mem-side port index out of range");
+    return *memPorts_[idx];
+}
+
+void RtlObject::startup() {
+    model_->reset();
+    eventQueue().schedule(tickEvent_, clockEdge());
+}
+
+// ------------------------------------------------------------ device side --
+
+bool RtlObject::recvDevReq(unsigned portIdx, PacketPtr& pkt) {
+    if (devQueue_.size() >= params_.devQueueDepth) {
+        needDevRetry_[portIdx] = true;
+        return false;
+    }
+    devQueue_.push_back(DevReq{portIdx, std::move(pkt)});
+    return true;
+}
+
+void RtlObject::devFunctional(Packet&) {
+    // Device registers have no functional backing store outside the model;
+    // functional probes of RTL state are not supported (as in the paper,
+    // where the RTL model is only reachable through its ports).
+}
+
+void RtlObject::sendDevResponses() {
+    for (unsigned i = 0; i < kNumCpuSidePorts; ++i) {
+        auto& queue = respQueues_[i];
+        while (!respBlocked_[i] && !queue.empty()) {
+            PacketPtr& pkt = queue.front();
+            if (!cpuPorts_[i]->sendTimingResp(pkt)) {
+                respBlocked_[i] = true;
+                break;
+            }
+            queue.pop_front();
+            if (needDevRetry_[i]) {
+                needDevRetry_[i] = false;
+                cpuPorts_[i]->sendReqRetry();
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ memory side --
+
+bool RtlObject::recvMemResp(PacketPtr& pkt) {
+    const auto it = pktToModelId_.find(pkt->id());
+    simAssert(it != pktToModelId_.end(), "memory response with no model mapping");
+    ModelResp resp;
+    resp.id = it->second;
+    resp.data.fill(0);
+    if (pkt->cmd() == MemCmd::kReadResp) {
+        std::memcpy(resp.data.data(), pkt->constData(),
+                    std::min<std::size_t>(pkt->size(), resp.data.size()));
+    }
+    pktToModelId_.erase(it);
+    modelRespQueue_.push_back(resp);
+    simAssert(outstanding_ > 0, "response underflow");
+    --outstanding_;
+    pkt.reset();
+    return true;
+}
+
+void RtlObject::sendMemRequests() {
+    for (unsigned i = 0; i < kNumMemSidePorts; ++i) {
+        auto& queue = memSendQueues_[i];
+        while (!memBlocked_[i] && !queue.empty()) {
+            PacketPtr& pkt = queue.front();
+            if (!memPorts_[i]->sendTimingReq(pkt)) {
+                memBlocked_[i] = true;
+                break;
+            }
+            queue.pop_front();
+        }
+    }
+}
+
+void RtlObject::issueModelRequests(const G5rRtlOutput& out) {
+    const unsigned count = std::min<unsigned>(out.mem_req_count, G5R_RTL_MAX_MEM_REQ);
+    for (unsigned i = 0; i < count; ++i) {
+        const G5rRtlMemReq& req = out.mem_req[i];
+        simAssert(outstanding_ < params_.maxInflight,
+                  "model exceeded its in-flight credit grant");
+        const unsigned size = std::min<unsigned>(req.size, G5R_RTL_MEM_DATA_BYTES);
+        Addr addr = req.addr;
+        if (params_.translate && tlb_ != nullptr) addr = tlb_->translate(addr);
+
+        PacketPtr pkt;
+        if (req.write != 0) {
+            pkt = makeWritePacket(addr, size);
+            std::memcpy(pkt->data(), req.data, size);
+            ++statMemWrites_;
+            statBytesWritten_ += size;
+        } else {
+            pkt = makeReadPacket(addr, size);
+            ++statMemReads_;
+            statBytesRead_ += size;
+        }
+        pkt->setIssueTick(curTick());
+
+        // Route port-1 traffic to port 0 when SRAMIF is not separately bound
+        // (the paper's configuration sends both interfaces to main memory).
+        unsigned portIdx = req.port < kNumMemSidePorts ? req.port : 0;
+        if (!memPorts_[portIdx]->isBound()) portIdx = 0;
+
+        pktToModelId_[pkt->id()] = req.id;
+        ++outstanding_;
+        memSendQueues_[portIdx].push_back(std::move(pkt));
+    }
+    sendMemRequests();
+}
+
+// ------------------------------------------------------------------- tick --
+
+void RtlObject::tick() {
+    G5rRtlInput in{};
+    G5rRtlOutput out{};
+
+    // Present the oldest queued device beat (one outstanding device read at
+    // a time, as befits a low-bandwidth config interface).
+    devPresented_ = false;
+    if (!devReadPending_.has_value() && !devQueue_.empty()) {
+        const DevReq& dev = devQueue_.front();
+        in.dev_valid = 1;
+        in.dev_write = dev.pkt->isWrite() ? 1 : 0;
+        in.dev_addr = dev.pkt->addr();
+        if (dev.pkt->isWrite()) {
+            std::uint64_t wdata = 0;
+            std::memcpy(&wdata, dev.pkt->constData(),
+                        std::min<std::size_t>(dev.pkt->size(), sizeof(wdata)));
+            in.dev_wdata = wdata;
+        }
+        devPresented_ = true;
+    }
+
+    // Deliver at most one memory response per RTL tick.
+    if (!modelRespQueue_.empty()) {
+        const ModelResp& resp = modelRespQueue_.front();
+        in.mem_resp_valid = 1;
+        in.mem_resp_id = resp.id;
+        std::memcpy(in.mem_resp_data, resp.data.data(), resp.data.size());
+    }
+
+    const unsigned creditsLeft =
+        params_.maxInflight > outstanding_ ? params_.maxInflight - outstanding_ : 0;
+    in.mem_req_credits = std::min<unsigned>(creditsLeft, G5R_RTL_MAX_MEM_REQ);
+    if (creditsLeft == 0) ++statZeroCreditTicks_;
+
+    if (eventBus_ != nullptr) {
+        const auto pulses = eventBus_->drain();
+        std::memcpy(in.events, pulses.data(), sizeof(in.events));
+    }
+
+    model_->tick(in, out);
+    ++statTicks_;
+    statOutstanding_.sample(static_cast<double>(outstanding_));
+
+    // Device handshake resolution.
+    if (devPresented_ && out.dev_ready != 0) {
+        DevReq dev = std::move(devQueue_.front());
+        devQueue_.pop_front();
+        if (dev.pkt->isWrite()) {
+            ++statDevWrites_;
+            if (dev.pkt->needsResponse()) {
+                dev.pkt->makeResponse();
+                respQueues_[dev.port].push_back(std::move(dev.pkt));
+            }
+        } else {
+            ++statDevReads_;
+            devReadPending_ = std::move(dev);
+        }
+    }
+    if (out.dev_resp_valid != 0 && devReadPending_.has_value()) {
+        DevReq dev = std::move(*devReadPending_);
+        devReadPending_.reset();
+        dev.pkt->set<std::uint64_t>(out.dev_rdata);
+        dev.pkt->makeResponse();
+        respQueues_[dev.port].push_back(std::move(dev.pkt));
+    }
+    if (in.mem_resp_valid != 0) modelRespQueue_.pop_front();
+
+    issueModelRequests(out);
+    sendDevResponses();
+
+    const bool irqNow = out.irq != 0;
+    if (irqNow != irqLevel_) {
+        irqLevel_ = irqNow;
+        ++statIrqEdges_;
+        if (irqCallback_) irqCallback_(irqNow);
+    }
+    if (out.done != 0 && !done_) {
+        done_ = true;
+        if (params_.exitOnDone) sim_.exitSimLoop(name() + ": model done");
+    }
+
+    eventQueue().schedule(tickEvent_, clockEdge(1));
+}
+
+}  // namespace g5r

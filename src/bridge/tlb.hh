@@ -1,0 +1,94 @@
+// TLB object for RTL-model address translation.
+//
+// The paper's RTLObject can "connect to a TLB object for address
+// translation ... an existing object in the SoC or one specifically added to
+// be used by the integrated RTL model". This TLB holds page mappings with a
+// small fully-associative cached subset; lookups that miss the cached
+// entries still translate (a page walk is not modelled as latency, matching
+// the paper's decision to bypass the IOMMU) but are counted, so integration
+// studies can see the model's TLB pressure.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace g5r {
+
+class Tlb : public SimObject {
+public:
+    static constexpr unsigned kPageShift = 12;
+
+    Tlb(Simulation& sim, std::string name, unsigned cachedEntries = 64)
+        : SimObject(sim, std::move(name)),
+          entries_(cachedEntries),
+          lookups_(stats_.scalar("lookups", "translations requested")),
+          hits_(stats_.scalar("hits", "translations served by cached entries")),
+          identityFallbacks_(stats_.scalar("identityFallbacks",
+                                           "lookups with no mapping (identity)")) {}
+
+    /// Install a virtual -> physical mapping covering [va, va+bytes).
+    void map(Addr va, Addr pa, std::uint64_t bytes) {
+        const Addr firstPage = va >> kPageShift;
+        const Addr lastPage = (va + bytes - 1) >> kPageShift;
+        for (Addr page = firstPage; page <= lastPage; ++page) {
+            pageTable_[page] = (pa >> kPageShift) + (page - firstPage);
+        }
+    }
+
+    /// Translate; unmapped addresses pass through unchanged (identity),
+    /// which is the paper's IOMMU-bypass behaviour.
+    Addr translate(Addr va) {
+        ++lookups_;
+        const Addr page = va >> kPageShift;
+        const Addr offset = va & ((Addr{1} << kPageShift) - 1);
+
+        for (auto& e : entries_) {
+            if (e.valid && e.vpage == page) {
+                ++hits_;
+                e.lastUsed = ++lru_;
+                return (e.ppage << kPageShift) | offset;
+            }
+        }
+
+        const auto it = pageTable_.find(page);
+        if (it == pageTable_.end()) {
+            ++identityFallbacks_;
+            return va;
+        }
+        // Refill the LRU cached entry.
+        Entry* victim = &entries_[0];
+        for (auto& e : entries_) {
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastUsed < victim->lastUsed) victim = &e;
+        }
+        *victim = Entry{page, it->second, true, ++lru_};
+        return (it->second << kPageShift) | offset;
+    }
+
+    std::size_t mappedPages() const { return pageTable_.size(); }
+
+private:
+    struct Entry {
+        Addr vpage = 0;
+        Addr ppage = 0;
+        bool valid = false;
+        std::uint64_t lastUsed = 0;
+    };
+
+    std::unordered_map<Addr, Addr> pageTable_;
+    std::vector<Entry> entries_;
+    std::uint64_t lru_ = 0;
+
+    stats::Scalar& lookups_;
+    stats::Scalar& hits_;
+    stats::Scalar& identityFallbacks_;
+};
+
+}  // namespace g5r

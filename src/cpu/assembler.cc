@@ -1,0 +1,337 @@
+#include "cpu/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <sstream>
+
+namespace g5r::isa {
+namespace {
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& msg) {
+    throw AsmError("asm line " + std::to_string(lineNo) + ": " + msg);
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+}
+
+std::string_view stripComment(std::string_view line) {
+    const auto pos = line.find_first_of(";#");
+    return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+/// Split "a, b, c" / "a b c" into trimmed operand tokens.
+std::vector<std::string> splitOperands(std::string_view s) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+}
+
+std::optional<std::uint8_t> parseReg(std::string_view tok) {
+    static const std::map<std::string_view, std::uint8_t> kAliases = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},   {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},   {"fp", 8},   {"s0", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12},  {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17},  {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22},  {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31},
+    };
+    if (const auto it = kAliases.find(tok); it != kAliases.end()) return it->second;
+    if (tok.size() >= 2 && tok[0] == 'x') {
+        unsigned idx = 0;
+        const auto res = std::from_chars(tok.data() + 1, tok.data() + tok.size(), idx);
+        if (res.ec == std::errc{} && res.ptr == tok.data() + tok.size() && idx < kNumRegs) {
+            return static_cast<std::uint8_t>(idx);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::int64_t> parseImm(std::string_view tok) {
+    if (tok.empty()) return std::nullopt;
+    bool negative = false;
+    if (tok[0] == '-' || tok[0] == '+') {
+        negative = tok[0] == '-';
+        tok.remove_prefix(1);
+    }
+    int base = 10;
+    if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+        base = 16;
+        tok.remove_prefix(2);
+    }
+    std::int64_t value = 0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), value, base);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) return std::nullopt;
+    return negative ? -value : value;
+}
+
+/// "imm(reg)" memory-operand form.
+bool parseMemOperand(const std::string& tok, std::int64_t& imm, std::uint8_t& reg) {
+    const auto open = tok.find('(');
+    const auto close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) return false;
+    const auto immTok = tok.substr(0, open);
+    const auto regTok = tok.substr(open + 1, close - open - 1);
+    const auto immVal = immTok.empty() ? std::optional<std::int64_t>{0} : parseImm(immTok);
+    const auto regVal = parseReg(regTok);
+    if (!immVal || !regVal) return false;
+    imm = *immVal;
+    reg = *regVal;
+    return true;
+}
+
+struct PendingInstr {
+    Instr instr;
+    std::string label;  ///< Unresolved pc-relative target ("" if none).
+    std::size_t lineNo = 0;
+};
+
+}  // namespace
+
+std::uint64_t Program::offsetOf(const std::string& label) const {
+    const auto it = labels.find(label);
+    if (it == labels.end()) throw AsmError("unknown label: " + label);
+    return it->second;
+}
+
+Program assemble(std::string_view source) {
+    std::vector<PendingInstr> pending;
+    std::map<std::string, std::uint64_t> labels;
+
+    std::size_t lineNo = 0;
+    std::size_t cursor = 0;
+    while (cursor <= source.size()) {
+        const auto eol = source.find('\n', cursor);
+        std::string_view line = source.substr(
+            cursor, eol == std::string_view::npos ? std::string_view::npos : eol - cursor);
+        cursor = (eol == std::string_view::npos) ? source.size() + 1 : eol + 1;
+        ++lineNo;
+
+        line = trim(stripComment(line));
+        if (line.empty()) continue;
+
+        // Leading labels ("name:") — multiple allowed on one line.
+        while (true) {
+            const auto colon = line.find(':');
+            if (colon == std::string_view::npos) break;
+            const auto head = trim(line.substr(0, colon));
+            if (head.find_first_of(" \t") != std::string_view::npos) break;  // Not a label.
+            if (head.empty()) fail(lineNo, "empty label");
+            if (labels.count(std::string{head}) > 0) {
+                fail(lineNo, "duplicate label: " + std::string{head});
+            }
+            labels[std::string{head}] = pending.size() * kInstrBytes;
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty()) continue;
+
+        const auto space = line.find_first_of(" \t");
+        std::string mnem{line.substr(0, space)};
+        std::transform(mnem.begin(), mnem.end(), mnem.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        const auto operands = splitOperands(
+            space == std::string_view::npos ? std::string_view{} : line.substr(space));
+
+        auto reg = [&](std::size_t i) -> std::uint8_t {
+            if (i >= operands.size()) fail(lineNo, "missing register operand");
+            const auto r = parseReg(operands[i]);
+            if (!r) fail(lineNo, "bad register: " + operands[i]);
+            return *r;
+        };
+        auto imm32 = [&](std::size_t i) -> std::int32_t {
+            if (i >= operands.size()) fail(lineNo, "missing immediate operand");
+            const auto v = parseImm(operands[i]);
+            if (!v) fail(lineNo, "bad immediate: " + operands[i]);
+            if (*v < INT32_MIN || *v > INT32_MAX) fail(lineNo, "immediate out of range");
+            return static_cast<std::int32_t>(*v);
+        };
+        auto emit = [&](const Instr& in, std::string label = {}) {
+            pending.push_back(PendingInstr{in, std::move(label), lineNo});
+        };
+        auto labelOperand = [&](std::size_t i) -> std::string {
+            if (i >= operands.size()) fail(lineNo, "missing label operand");
+            return operands[i];
+        };
+
+        // Pseudo-instructions first.
+        if (mnem == "nop") {
+            emit({Opcode::kAddi, 0, 0, 0, 0});
+            continue;
+        }
+        if (mnem == "li") {
+            // Wide constants expand to lui (bits [12,44)) + ori (bits [0,12)).
+            const std::uint8_t rd = reg(0);
+            if (operands.size() < 2) fail(lineNo, "missing immediate operand");
+            const auto value = parseImm(operands[1]);
+            if (!value) fail(lineNo, "bad immediate: " + operands[1]);
+            if (*value >= INT32_MIN && *value <= INT32_MAX) {
+                emit({Opcode::kAddi, rd, 0, 0, static_cast<std::int32_t>(*value)});
+            } else if (*value >= 0 && *value < (std::int64_t{1} << 44)) {
+                emit({Opcode::kLui, rd, 0, 0, static_cast<std::int32_t>(*value >> 12)});
+                emit({Opcode::kOri, rd, rd, 0, static_cast<std::int32_t>(*value & 0xFFF)});
+            } else {
+                fail(lineNo, "li immediate out of the 44-bit range");
+            }
+            continue;
+        }
+        if (mnem == "mv") {
+            emit({Opcode::kAddi, reg(0), reg(1), 0, 0});
+            continue;
+        }
+        if (mnem == "j") {
+            emit({Opcode::kJal, 0, 0, 0, 0}, labelOperand(0));
+            continue;
+        }
+        if (mnem == "call") {
+            emit({Opcode::kJal, 1, 0, 0, 0}, labelOperand(0));
+            continue;
+        }
+        if (mnem == "ret") {
+            emit({Opcode::kJalr, 0, 1, 0, 0});
+            continue;
+        }
+        if (mnem == "ble") {  // ble a,b,L == bge b,a,L
+            emit({Opcode::kBge, 0, reg(1), reg(0), 0}, labelOperand(2));
+            continue;
+        }
+        if (mnem == "bgt") {  // bgt a,b,L == blt b,a,L
+            emit({Opcode::kBlt, 0, reg(1), reg(0), 0}, labelOperand(2));
+            continue;
+        }
+
+        const Opcode op = opcodeFromMnemonic(mnem);
+        if (op == Opcode::kOpcodeCount) fail(lineNo, "unknown mnemonic: " + mnem);
+
+        Instr in;
+        in.op = op;
+        switch (op) {
+        case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+        case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl: case Opcode::kSra:
+        case Opcode::kSlt: case Opcode::kSltu: case Opcode::kMul: case Opcode::kDiv:
+        case Opcode::kRem:
+            in.rd = reg(0);
+            in.rs1 = reg(1);
+            in.rs2 = reg(2);
+            break;
+        case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri: case Opcode::kXori:
+        case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai: case Opcode::kSlti:
+            in.rd = reg(0);
+            in.rs1 = reg(1);
+            in.imm = imm32(2);
+            break;
+        case Opcode::kLui:
+            in.rd = reg(0);
+            in.imm = imm32(1);
+            break;
+        case Opcode::kLd: case Opcode::kLw: case Opcode::kLb: {
+            in.rd = reg(0);
+            std::int64_t imm = 0;
+            std::uint8_t base = 0;
+            if (operands.size() < 2 || !parseMemOperand(operands[1], imm, base)) {
+                fail(lineNo, "expected imm(reg) operand");
+            }
+            in.rs1 = base;
+            in.imm = static_cast<std::int32_t>(imm);
+            break;
+        }
+        case Opcode::kSd: case Opcode::kSw: case Opcode::kSb: {
+            in.rs2 = reg(0);  // Value to store.
+            std::int64_t imm = 0;
+            std::uint8_t base = 0;
+            if (operands.size() < 2 || !parseMemOperand(operands[1], imm, base)) {
+                fail(lineNo, "expected imm(reg) operand");
+            }
+            in.rs1 = base;
+            in.imm = static_cast<std::int32_t>(imm);
+            break;
+        }
+        case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt: case Opcode::kBge:
+        case Opcode::kBltu: case Opcode::kBgeu:
+            in.rs1 = reg(0);
+            in.rs2 = reg(1);
+            emit(in, labelOperand(2));
+            continue;
+        case Opcode::kJal:
+            in.rd = reg(0);
+            emit(in, labelOperand(1));
+            continue;
+        case Opcode::kJalr:
+            in.rd = reg(0);
+            in.rs1 = reg(1);
+            in.imm = operands.size() > 2 ? imm32(2) : 0;
+            break;
+        case Opcode::kEcall: case Opcode::kHalt:
+            break;
+        case Opcode::kRdCycle:
+            in.rd = reg(0);
+            break;
+        case Opcode::kOpcodeCount:
+            fail(lineNo, "internal: bad opcode");
+        }
+        emit(in);
+    }
+
+    // Second pass: resolve pc-relative labels.
+    Program prog;
+    prog.labels = labels;
+    prog.code.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        Instr in = pending[i].instr;
+        if (!pending[i].label.empty()) {
+            const auto it = labels.find(pending[i].label);
+            if (it == labels.end()) {
+                fail(pending[i].lineNo, "unknown label: " + pending[i].label);
+            }
+            const auto target = static_cast<std::int64_t>(it->second);
+            const auto pc = static_cast<std::int64_t>(i * kInstrBytes);
+            in.imm = static_cast<std::int32_t>(target - pc);
+        }
+        prog.code.push_back(encode(in));
+    }
+    return prog;
+}
+
+std::string disassemble(const Instr& in) {
+    std::ostringstream os;
+    os << mnemonic(in.op);
+    if (in.isStore()) {
+        os << " x" << +in.rs2 << ", " << in.imm << "(x" << +in.rs1 << ')';
+    } else if (in.isLoad()) {
+        os << " x" << +in.rd << ", " << in.imm << "(x" << +in.rs1 << ')';
+    } else if (in.isBranch()) {
+        os << " x" << +in.rs1 << ", x" << +in.rs2 << ", pc" << (in.imm >= 0 ? "+" : "")
+           << in.imm;
+    } else if (in.op == Opcode::kJal) {
+        os << " x" << +in.rd << ", pc" << (in.imm >= 0 ? "+" : "") << in.imm;
+    } else if (in.op == Opcode::kJalr) {
+        os << " x" << +in.rd << ", x" << +in.rs1 << ", " << in.imm;
+    } else if (in.op == Opcode::kRdCycle) {
+        os << " x" << +in.rd;
+    } else if (!in.isSyscall() && !in.isHalt()) {
+        os << " x" << +in.rd << ", x" << +in.rs1;
+        if (in.op == Opcode::kLui) {
+            os << ", " << in.imm;
+        } else {
+            os << ", x" << +in.rs2 << ", " << in.imm;
+        }
+    }
+    return os.str();
+}
+
+}  // namespace g5r::isa

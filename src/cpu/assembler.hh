@@ -1,0 +1,43 @@
+// Two-pass assembler for the mini-ISA.
+//
+// Accepts the usual RISC-style text form with labels, comments (';' or '#'),
+// register ABI aliases and a handful of pseudo-instructions (li, mv, j,
+// call, ret, nop, ble, bgt). Workload kernels (tests/workloads and soc/) are
+// written in this syntax and assembled at simulator start-up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/isa.hh"
+
+namespace g5r::isa {
+
+struct Program {
+    std::vector<std::uint64_t> code;          ///< Encoded instructions, in order.
+    std::map<std::string, std::uint64_t> labels;  ///< Label -> byte offset from base.
+
+    std::size_t sizeBytes() const { return code.size() * kInstrBytes; }
+
+    /// Byte offset of a label; throws AsmError if absent.
+    std::uint64_t offsetOf(const std::string& label) const;
+};
+
+/// Assembly failure: message carries line number and context.
+class AsmError : public std::runtime_error {
+public:
+    explicit AsmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Assemble @p source. Branch/jump labels resolve to pc-relative offsets, so
+/// the program is position-independent and can be loaded at any base.
+Program assemble(std::string_view source);
+
+/// Render one decoded instruction back to text (debug/trace aid).
+std::string disassemble(const Instr& instr);
+
+}  // namespace g5r::isa

@@ -1,0 +1,56 @@
+// Branch prediction: a bimodal 2-bit-counter direction predictor plus a
+// small BTB for indirect (JALR) targets. Direct branch/JAL targets are
+// decoded from the instruction bits at fetch, so the BTB is only consulted
+// for indirect jumps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace g5r {
+
+class BranchPredictor {
+public:
+    explicit BranchPredictor(unsigned tableBits = 12, unsigned btbEntries = 256)
+        : counters_(1u << tableBits, 2 /* weakly taken */),
+          btb_(btbEntries),
+          tableMask_((1u << tableBits) - 1),
+          btbMask_(btbEntries - 1) {}
+
+    bool predictTaken(std::uint64_t pc) const {
+        return counters_[index(pc)] >= 2;
+    }
+
+    /// Predicted target of an indirect jump; 0 when the BTB has no entry.
+    std::uint64_t predictIndirect(std::uint64_t pc) const {
+        const auto& e = btb_[btbIndex(pc)];
+        return e.valid && e.pc == pc ? e.target : 0;
+    }
+
+    void updateDirection(std::uint64_t pc, bool taken) {
+        auto& c = counters_[index(pc)];
+        if (taken && c < 3) ++c;
+        if (!taken && c > 0) --c;
+    }
+
+    void updateIndirect(std::uint64_t pc, std::uint64_t target) {
+        btb_[btbIndex(pc)] = BtbEntry{pc, target, true};
+    }
+
+private:
+    struct BtbEntry {
+        std::uint64_t pc = 0;
+        std::uint64_t target = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(std::uint64_t pc) const { return (pc >> 3) & tableMask_; }
+    std::size_t btbIndex(std::uint64_t pc) const { return (pc >> 3) & btbMask_; }
+
+    std::vector<std::uint8_t> counters_;
+    std::vector<BtbEntry> btb_;
+    std::size_t tableMask_;
+    std::size_t btbMask_;
+};
+
+}  // namespace g5r

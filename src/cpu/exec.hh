@@ -1,0 +1,100 @@
+// Pure instruction semantics shared by the functional core (golden model)
+// and the timing cores' execute stages. Keeping these as free functions
+// guarantees that the OoO pipeline and the functional simulator can never
+// disagree about what an instruction computes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/isa.hh"
+#include "sim/logging.hh"
+
+namespace g5r::isa {
+
+/// Architectural register state. x0 reads as zero and ignores writes.
+struct ArchState {
+    std::array<std::uint64_t, kNumRegs> regs{};
+    std::uint64_t pc = 0;
+
+    std::uint64_t read(unsigned r) const { return r == 0 ? 0 : regs[r]; }
+    void write(unsigned r, std::uint64_t v) {
+        if (r != 0) regs[r] = v;
+    }
+};
+
+/// Result of an ALU-class instruction given resolved operands. `op2` is the
+/// second register for R-type ops and ignored for immediates.
+inline std::uint64_t aluResult(const Instr& in, std::uint64_t rs1, std::uint64_t rs2) {
+    const auto imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    const auto s1 = static_cast<std::int64_t>(rs1);
+    const auto s2 = static_cast<std::int64_t>(rs2);
+    switch (in.op) {
+    case Opcode::kAdd: return rs1 + rs2;
+    case Opcode::kSub: return rs1 - rs2;
+    case Opcode::kAnd: return rs1 & rs2;
+    case Opcode::kOr: return rs1 | rs2;
+    case Opcode::kXor: return rs1 ^ rs2;
+    case Opcode::kSll: return rs1 << (rs2 & 63);
+    case Opcode::kSrl: return rs1 >> (rs2 & 63);
+    case Opcode::kSra: return static_cast<std::uint64_t>(s1 >> (rs2 & 63));
+    case Opcode::kSlt: return s1 < s2 ? 1 : 0;
+    case Opcode::kSltu: return rs1 < rs2 ? 1 : 0;
+    case Opcode::kMul: return rs1 * rs2;
+    case Opcode::kDiv: return rs2 == 0 ? ~std::uint64_t{0} : static_cast<std::uint64_t>(s1 / s2);
+    case Opcode::kRem: return rs2 == 0 ? rs1 : static_cast<std::uint64_t>(s1 % s2);
+    case Opcode::kAddi: return rs1 + imm;
+    case Opcode::kAndi: return rs1 & imm;
+    case Opcode::kOri: return rs1 | imm;
+    case Opcode::kXori: return rs1 ^ imm;
+    case Opcode::kSlli: return rs1 << (in.imm & 63);
+    case Opcode::kSrli: return rs1 >> (in.imm & 63);
+    case Opcode::kSrai: return static_cast<std::uint64_t>(s1 >> (in.imm & 63));
+    case Opcode::kSlti: return s1 < static_cast<std::int64_t>(imm) ? 1 : 0;
+    case Opcode::kLui: return imm << 12;
+    default: panic("aluResult on a non-ALU instruction");
+    }
+}
+
+/// Branch condition evaluation.
+inline bool branchTaken(const Instr& in, std::uint64_t rs1, std::uint64_t rs2) {
+    const auto s1 = static_cast<std::int64_t>(rs1);
+    const auto s2 = static_cast<std::int64_t>(rs2);
+    switch (in.op) {
+    case Opcode::kBeq: return rs1 == rs2;
+    case Opcode::kBne: return rs1 != rs2;
+    case Opcode::kBlt: return s1 < s2;
+    case Opcode::kBge: return s1 >= s2;
+    case Opcode::kBltu: return rs1 < rs2;
+    case Opcode::kBgeu: return rs1 >= rs2;
+    default: panic("branchTaken on a non-branch");
+    }
+}
+
+/// Target of a control-flow instruction (branches/JAL: pc-relative; JALR:
+/// register-indirect).
+inline std::uint64_t controlTarget(const Instr& in, std::uint64_t pc, std::uint64_t rs1) {
+    if (in.op == Opcode::kJalr) {
+        return rs1 + static_cast<std::int64_t>(in.imm);
+    }
+    return pc + static_cast<std::int64_t>(in.imm);
+}
+
+/// Effective address of a memory instruction.
+inline std::uint64_t effectiveAddr(const Instr& in, std::uint64_t rs1) {
+    return rs1 + static_cast<std::int64_t>(in.imm);
+}
+
+/// Sign-extend a loaded value according to the load width.
+inline std::uint64_t extendLoad(const Instr& in, std::uint64_t raw) {
+    switch (in.op) {
+    case Opcode::kLd: return raw;
+    case Opcode::kLw: return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(static_cast<std::uint32_t>(raw))));
+    case Opcode::kLb: return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int8_t>(static_cast<std::uint8_t>(raw))));
+    default: panic("extendLoad on a non-load");
+    }
+}
+
+}  // namespace g5r::isa

@@ -1,0 +1,73 @@
+#include "cpu/functional.hh"
+
+namespace g5r::isa {
+
+StopReason FunctionalCore::doSyscall() {
+    const auto num = static_cast<Syscall>(state_.read(17));
+    switch (num) {
+    case Syscall::kExit:
+        return StopReason::kHalted;
+    case Syscall::kSleepNs:
+        lastSleepNs_ = state_.read(10);
+        return StopReason::kSleeping;
+    case Syscall::kPrintChar:
+        console_.push_back(static_cast<char>(state_.read(10)));
+        return StopReason::kRunning;
+    case Syscall::kPrintInt:
+        console_ += std::to_string(static_cast<std::int64_t>(state_.read(10)));
+        return StopReason::kRunning;
+    }
+    panicStream("unknown syscall " + std::to_string(state_.read(17)));
+}
+
+StopReason FunctionalCore::step() {
+    const Instr in = decode(mem_.load<std::uint64_t>(state_.pc));
+    const std::uint64_t pc = state_.pc;
+    std::uint64_t nextPc = pc + kInstrBytes;
+    ++retired_;
+
+    if (in.isHalt()) return StopReason::kHalted;
+
+    if (in.isSyscall()) {
+        const StopReason r = doSyscall();
+        if (r == StopReason::kHalted) return r;
+        state_.pc = nextPc;
+        return r;
+    }
+
+    if (in.isLoad()) {
+        const std::uint64_t addr = effectiveAddr(in, state_.read(in.rs1));
+        std::uint64_t raw = 0;
+        mem_.read(addr, reinterpret_cast<std::uint8_t*>(&raw), in.memBytes());
+        state_.write(in.rd, extendLoad(in, raw));
+    } else if (in.isStore()) {
+        const std::uint64_t addr = effectiveAddr(in, state_.read(in.rs1));
+        const std::uint64_t value = state_.read(in.rs2);
+        mem_.write(addr, reinterpret_cast<const std::uint8_t*>(&value), in.memBytes());
+    } else if (in.isBranch()) {
+        if (branchTaken(in, state_.read(in.rs1), state_.read(in.rs2))) {
+            nextPc = controlTarget(in, pc, 0);
+        }
+    } else if (in.isJump()) {
+        state_.write(in.rd, pc + kInstrBytes);
+        nextPc = controlTarget(in, pc, state_.read(in.rs1));
+    } else if (in.op == Opcode::kRdCycle) {
+        // The functional model has no clock; retired count is a stand-in.
+        state_.write(in.rd, retired_);
+    } else {
+        state_.write(in.rd, aluResult(in, state_.read(in.rs1), state_.read(in.rs2)));
+    }
+
+    state_.pc = nextPc;
+    return StopReason::kRunning;
+}
+
+StopReason FunctionalCore::run(std::uint64_t maxInstrs) {
+    for (std::uint64_t i = 0; i < maxInstrs; ++i) {
+        const StopReason r = step();
+        if (r == StopReason::kHalted) return StopReason::kHalted;
+    }
+    return StopReason::kMaxInstrs;
+}
+
+}  // namespace g5r::isa

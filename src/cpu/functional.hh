@@ -1,0 +1,54 @@
+// Functional (untimed) executor: the golden model.
+//
+// Runs a program directly against a BackingStore with zero timing. Used to
+// validate workload kernels, as the reference the timing cores are tested
+// against, and by tests that only care about architectural results.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cpu/exec.hh"
+#include "cpu/isa.hh"
+#include "mem/backing_store.hh"
+
+namespace g5r::isa {
+
+/// Why a functional step/run stopped.
+enum class StopReason {
+    kRunning,   ///< step(): instruction retired normally.
+    kHalted,    ///< HALT or exit syscall.
+    kSleeping,  ///< sleep syscall (functional model just notes it).
+    kMaxInstrs, ///< run(): instruction budget exhausted.
+};
+
+class FunctionalCore {
+public:
+    FunctionalCore(BackingStore& mem, std::uint64_t entryPc)
+        : mem_(mem) {
+        state_.pc = entryPc;
+    }
+
+    ArchState& state() { return state_; }
+    const ArchState& state() const { return state_; }
+    std::uint64_t instructionsRetired() const { return retired_; }
+    const std::string& consoleOutput() const { return console_; }
+    std::uint64_t lastSleepNs() const { return lastSleepNs_; }
+
+    /// Execute one instruction.
+    StopReason step();
+
+    /// Execute until halt/exit or @p maxInstrs retire.
+    StopReason run(std::uint64_t maxInstrs = 100'000'000);
+
+private:
+    StopReason doSyscall();
+
+    BackingStore& mem_;
+    ArchState state_;
+    std::uint64_t retired_ = 0;
+    std::uint64_t lastSleepNs_ = 0;
+    std::string console_;
+};
+
+}  // namespace g5r::isa

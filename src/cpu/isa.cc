@@ -1,0 +1,31 @@
+#include "cpu/isa.hh"
+
+#include <array>
+
+namespace g5r::isa {
+namespace {
+
+constexpr std::array<std::string_view, static_cast<std::size_t>(Opcode::kOpcodeCount)>
+    kMnemonics = {
+        "add",  "sub",  "and",  "or",   "xor",  "sll",  "srl",  "sra",  "slt",
+        "sltu", "mul",  "div",  "rem",  "addi", "andi", "ori",  "xori", "slli",
+        "srli", "srai", "slti", "lui",  "ld",   "lw",   "lb",   "sd",   "sw",
+        "sb",   "beq",  "bne",  "blt",  "bge",  "bltu", "bgeu", "jal",  "jalr",
+        "ecall", "rdcycle", "halt",
+};
+
+}  // namespace
+
+std::string_view mnemonic(Opcode op) {
+    const auto idx = static_cast<std::size_t>(op);
+    return idx < kMnemonics.size() ? kMnemonics[idx] : "???";
+}
+
+Opcode opcodeFromMnemonic(std::string_view m) {
+    for (std::size_t i = 0; i < kMnemonics.size(); ++i) {
+        if (kMnemonics[i] == m) return static_cast<Opcode>(i);
+    }
+    return Opcode::kOpcodeCount;
+}
+
+}  // namespace g5r::isa

@@ -1,0 +1,116 @@
+// The simulator's mini-ISA.
+//
+// A RISC-style 64-bit ISA: 32 general-purpose registers (x0 hard-wired to
+// zero), fixed 8-byte instruction encoding (one opcode/register word + one
+// 32-bit immediate word). It exists so the paper's full-system workloads —
+// the sorting kernels of Fig. 5 with their sleep phases — can run on a real
+// pipeline model with real instruction and data cache traffic, substituting
+// for gem5's Armv8 + Linux stack (see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace g5r::isa {
+
+inline constexpr unsigned kNumRegs = 32;
+inline constexpr unsigned kInstrBytes = 8;
+
+enum class Opcode : std::uint8_t {
+    // ALU register-register.
+    kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu, kMul, kDiv, kRem,
+    // ALU register-immediate (imm sign-extended to 64 bits).
+    kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kLui,
+    // Memory: address = rs1 + imm.
+    kLd, kLw, kLb, kSd, kSw, kSb,
+    // Control flow: branch target = pc + imm; JALR target = rs1 + imm.
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu, kJal, kJalr,
+    // System.
+    kEcall,    ///< Syscall: number in x17, args in x10/x11, result in x10.
+    kRdCycle,  ///< rd <- current core cycle count.
+    kHalt,     ///< Stop the core (used as a program end guard).
+    kOpcodeCount,
+};
+
+/// A decoded instruction.
+struct Instr {
+    Opcode op = Opcode::kHalt;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+
+    bool isLoad() const { return op == Opcode::kLd || op == Opcode::kLw || op == Opcode::kLb; }
+    bool isStore() const { return op == Opcode::kSd || op == Opcode::kSw || op == Opcode::kSb; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const {
+        switch (op) {
+        case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+        case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+            return true;
+        default:
+            return false;
+        }
+    }
+    bool isJump() const { return op == Opcode::kJal || op == Opcode::kJalr; }
+    bool isControl() const { return isBranch() || isJump(); }
+    bool isSyscall() const { return op == Opcode::kEcall; }
+    bool isHalt() const { return op == Opcode::kHalt; }
+
+    /// Number of bytes a memory op moves.
+    unsigned memBytes() const {
+        switch (op) {
+        case Opcode::kLd: case Opcode::kSd: return 8;
+        case Opcode::kLw: case Opcode::kSw: return 4;
+        case Opcode::kLb: case Opcode::kSb: return 1;
+        default: return 0;
+        }
+    }
+
+    /// Does the instruction write rd?
+    bool writesRd() const {
+        return !(isStore() || isBranch() || isHalt() || isSyscall());
+    }
+};
+
+/// Pack a decoded instruction into its 8-byte encoding.
+constexpr std::uint64_t encode(const Instr& in) {
+    const std::uint32_t word0 = static_cast<std::uint32_t>(in.op) |
+                                (static_cast<std::uint32_t>(in.rd) << 8) |
+                                (static_cast<std::uint32_t>(in.rs1) << 13) |
+                                (static_cast<std::uint32_t>(in.rs2) << 18);
+    return static_cast<std::uint64_t>(word0) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(in.imm)) << 32);
+}
+
+/// Unpack an 8-byte encoding. Bytes that are not a valid opcode decode as
+/// HALT, so a core speculating past the end of a program stops cleanly.
+constexpr Instr decode(std::uint64_t raw) {
+    Instr in;
+    const auto word0 = static_cast<std::uint32_t>(raw);
+    in.op = (word0 & 0xFF) < static_cast<std::uint32_t>(Opcode::kOpcodeCount)
+                ? static_cast<Opcode>(word0 & 0xFF)
+                : Opcode::kHalt;
+    in.rd = static_cast<std::uint8_t>((word0 >> 8) & 0x1F);
+    in.rs1 = static_cast<std::uint8_t>((word0 >> 13) & 0x1F);
+    in.rs2 = static_cast<std::uint8_t>((word0 >> 18) & 0x1F);
+    in.imm = static_cast<std::int32_t>(static_cast<std::uint32_t>(raw >> 32));
+    return in;
+}
+
+/// Mnemonic for an opcode (assembler/disassembler tables).
+std::string_view mnemonic(Opcode op);
+
+/// Parse a mnemonic; returns kOpcodeCount when unknown.
+Opcode opcodeFromMnemonic(std::string_view m);
+
+/// Syscall numbers recognised by the cores (in x17 at ECALL).
+enum class Syscall : std::uint64_t {
+    kExit = 0,      ///< Stop this core's program.
+    kSleepNs = 1,   ///< x10 = nanoseconds to sleep (pipeline idles).
+    kPrintChar = 2, ///< x10 = character.
+    kPrintInt = 3,  ///< x10 = integer, printed in decimal.
+};
+
+}  // namespace g5r::isa

@@ -1,0 +1,193 @@
+#include "cpu/workloads.hh"
+
+#include <sstream>
+
+namespace g5r::workloads {
+
+// Calling convention for all three kernels: a0 = array base (8-byte ints),
+// a1 = element count; t-registers scratch, s-registers used freely (the
+// benchmark driver keeps nothing live across calls).
+
+std::string selectionSortFunction() {
+    return R"(
+selectionsort:
+  li t0, 0              ; i = 0
+sel_outer:
+  addi t6, a1, -1
+  bge t0, t6, sel_done  ; i >= n-1
+  mv t1, t0             ; minIdx = i
+  addi t2, t0, 1        ; j = i+1
+sel_inner:
+  bge t2, a1, sel_swap
+  slli t3, t2, 3
+  add t3, a0, t3
+  ld t4, 0(t3)          ; arr[j]
+  slli t5, t1, 3
+  add t5, a0, t5
+  ld t6, 0(t5)          ; arr[minIdx]
+  bge t4, t6, sel_noupd
+  mv t1, t2             ; new minimum
+sel_noupd:
+  addi t2, t2, 1
+  j sel_inner
+sel_swap:
+  slli t3, t0, 3
+  add t3, a0, t3
+  ld t4, 0(t3)
+  slli t5, t1, 3
+  add t5, a0, t5
+  ld t6, 0(t5)
+  sd t6, 0(t3)
+  sd t4, 0(t5)
+  addi t0, t0, 1
+  j sel_outer
+sel_done:
+  ret
+)";
+}
+
+std::string bubbleSortFunction() {
+    return R"(
+bubblesort:
+  addi t0, a1, -1       ; limit = n-1
+bub_outer:
+  blt t0, x0, bub_done
+  li t1, 0              ; j = 0
+bub_inner:
+  bge t1, t0, bub_next
+  slli t2, t1, 3
+  add t2, a0, t2
+  ld t3, 0(t2)          ; arr[j]
+  ld t4, 8(t2)          ; arr[j+1]
+  ble t3, t4, bub_noswap
+  sd t4, 0(t2)
+  sd t3, 8(t2)
+bub_noswap:
+  addi t1, t1, 1
+  j bub_inner
+bub_next:
+  addi t0, t0, -1
+  bgt t0, x0, bub_outer
+bub_done:
+  ret
+)";
+}
+
+std::string quickSortFunction() {
+    // Iterative Lomuto-partition quicksort; (lo, hi) work list kept on the
+    // machine stack, s11 marks the empty level.
+    return R"(
+quicksort:
+  li t5, 2
+  blt a1, t5, qs_ret    ; n < 2: nothing to sort
+  mv s11, sp            ; remember the empty-stack level
+  addi t6, a1, -1
+  addi sp, sp, -16      ; push (0, n-1)
+  sd x0, 0(sp)
+  sd t6, 8(sp)
+qs_loop:
+  beq sp, s11, qs_ret
+  ld s0, 0(sp)          ; lo
+  ld s1, 8(sp)          ; hi
+  addi sp, sp, 16
+  bge s0, s1, qs_loop
+  slli t0, s1, 3        ; t0 = &arr[hi]
+  add t0, a0, t0
+  ld s2, 0(t0)          ; pivot = arr[hi]
+  addi s3, s0, -1       ; i = lo - 1
+  mv s4, s0             ; j = lo
+qs_part:
+  bge s4, s1, qs_part_done
+  slli t1, s4, 3
+  add t1, a0, t1
+  ld t2, 0(t1)          ; arr[j]
+  bgt t2, s2, qs_noswap
+  addi s3, s3, 1        ; ++i
+  slli t3, s3, 3
+  add t3, a0, t3
+  ld t4, 0(t3)          ; swap arr[i] <-> arr[j]
+  sd t2, 0(t3)
+  sd t4, 0(t1)
+qs_noswap:
+  addi s4, s4, 1
+  j qs_part
+qs_part_done:
+  addi s3, s3, 1        ; p = i + 1
+  slli t3, s3, 3
+  add t3, a0, t3
+  ld t4, 0(t3)          ; swap arr[p] <-> arr[hi]
+  ld t2, 0(t0)
+  sd t2, 0(t3)
+  sd t4, 0(t0)
+  addi t1, s3, -1       ; push (lo, p-1) if non-trivial
+  bge s0, t1, qs_skip1
+  addi sp, sp, -16
+  sd s0, 0(sp)
+  sd t1, 8(sp)
+qs_skip1:
+  addi t1, s3, 1        ; push (p+1, hi) if non-trivial
+  bge t1, s1, qs_skip2
+  addi sp, sp, -16
+  sd t1, 0(sp)
+  sd s1, 8(sp)
+qs_skip2:
+  j qs_loop
+qs_ret:
+  ret
+)";
+}
+
+std::string sortBenchmarkSource(const SortBenchmarkLayout& layout) {
+    std::ostringstream os;
+    os << "main:\n"
+       << "  li sp, " << layout.stackTop << "\n"
+       // Phase 1: quicksort, 10x elements.
+       << "  li a0, " << layout.quickBase << "\n"
+       << "  li a1, " << layout.quickElems() << "\n"
+       << "  call quicksort\n"
+       << "  li a0, " << layout.sleepNs << "\n"
+       << "  li a7, 1\n  ecall\n"
+       // Phase 2: selection sort.
+       << "  li a0, " << layout.selBase << "\n"
+       << "  li a1, " << layout.baseElems << "\n"
+       << "  call selectionsort\n"
+       << "  li a0, " << layout.sleepNs << "\n"
+       << "  li a7, 1\n  ecall\n"
+       // Phase 3: bubble sort.
+       << "  li a0, " << layout.bubbleBase << "\n"
+       << "  li a1, " << layout.baseElems << "\n"
+       << "  call bubblesort\n"
+       // Exit.
+       << "  li a7, 0\n  ecall\n"
+       << "  halt\n"
+       << quickSortFunction() << selectionSortFunction() << bubbleSortFunction();
+    return os.str();
+}
+
+isa::Program sortBenchmarkProgram(const SortBenchmarkLayout& layout) {
+    return isa::assemble(sortBenchmarkSource(layout));
+}
+
+void populateSortArrays(BackingStore& mem, const SortBenchmarkLayout& layout,
+                        std::uint64_t seed) {
+    Rng rng{seed};
+    auto fill = [&](std::uint64_t base, std::uint64_t elems) {
+        for (std::uint64_t i = 0; i < elems; ++i) {
+            mem.store<std::uint64_t>(base + 8 * i, rng.below(1'000'000));
+        }
+    };
+    fill(layout.quickBase, layout.quickElems());
+    fill(layout.selBase, layout.baseElems);
+    fill(layout.bubbleBase, layout.baseElems);
+}
+
+bool isSorted(const BackingStore& mem, std::uint64_t base, std::uint64_t elems) {
+    for (std::uint64_t i = 1; i < elems; ++i) {
+        const auto prev = static_cast<std::int64_t>(mem.load<std::uint64_t>(base + 8 * (i - 1)));
+        const auto cur = static_cast<std::int64_t>(mem.load<std::uint64_t>(base + 8 * i));
+        if (prev > cur) return false;
+    }
+    return true;
+}
+
+}  // namespace g5r::workloads

@@ -1,0 +1,48 @@
+// Workload programs for the full-system experiments.
+//
+// The Fig. 5 / Table 2 benchmark: QuickSort, SelectionSort and BubbleSort run
+// back-to-back with a sleep between phases, exactly as the paper describes
+// ("three sorting algorithms ... separated by a 1 ms sleep"). QuickSort gets
+// 10x more elements (the paper: "sorts 10x more elements in a fraction of
+// the time").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/assembler.hh"
+#include "mem/backing_store.hh"
+#include "sim/rng.hh"
+
+namespace g5r::workloads {
+
+struct SortBenchmarkLayout {
+    std::uint64_t quickBase = 0x100000;   ///< QuickSort array (n = 10 * baseElems).
+    std::uint64_t selBase = 0x200000;     ///< SelectionSort array.
+    std::uint64_t bubbleBase = 0x300000;  ///< BubbleSort array.
+    std::uint64_t stackTop = 0x0F0000;    ///< Grows down; quicksort's (lo,hi) stack.
+    std::uint64_t baseElems = 1000;       ///< Selection/Bubble size; Quick = 10x.
+    std::uint64_t sleepNs = 1'000'000;    ///< Inter-phase sleep (paper: 1 ms).
+
+    std::uint64_t quickElems() const { return baseElems * 10; }
+};
+
+/// Assembly source of the three-kernel benchmark for the given layout.
+std::string sortBenchmarkSource(const SortBenchmarkLayout& layout);
+
+/// Assembled program of the benchmark.
+isa::Program sortBenchmarkProgram(const SortBenchmarkLayout& layout);
+
+/// Fill the three arrays with deterministic pseudo-random values.
+void populateSortArrays(BackingStore& mem, const SortBenchmarkLayout& layout,
+                        std::uint64_t seed = 42);
+
+/// True if memory holds a sorted (non-decreasing) int64 array at base.
+bool isSorted(const BackingStore& mem, std::uint64_t base, std::uint64_t elems);
+
+/// Standalone single-kernel sources, for unit tests.
+std::string quickSortFunction();
+std::string selectionSortFunction();
+std::string bubbleSortFunction();
+
+}  // namespace g5r::workloads

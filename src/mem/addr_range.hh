@@ -1,0 +1,30 @@
+// Half-open address ranges used for routing in crossbars and for memory
+// capacity declarations.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+
+namespace g5r {
+
+struct AddrRange {
+    Addr start = 0;
+    Addr end = 0;  ///< One past the last valid address.
+
+    constexpr AddrRange() = default;
+    constexpr AddrRange(Addr s, Addr e) : start(s), end(e) {}
+
+    constexpr bool valid() const { return end > start; }
+    constexpr Addr size() const { return end - start; }
+    constexpr bool contains(Addr a) const { return a >= start && a < end; }
+    constexpr bool contains(Addr a, unsigned bytes) const {
+        return a >= start && a + bytes <= end;
+    }
+    constexpr bool overlaps(const AddrRange& o) const {
+        return start < o.end && o.start < end;
+    }
+};
+
+}  // namespace g5r

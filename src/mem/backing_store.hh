@@ -1,0 +1,75 @@
+// Sparse physical-memory backing store.
+//
+// Stores simulated memory contents in 4 KiB pages allocated on first touch,
+// so a multi-GiB address space costs only what the workload actually uses.
+// Multiple memory controllers (e.g. the channels of a multi-channel DRAM)
+// share one BackingStore for the same physical range.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/packet.hh"
+
+namespace g5r {
+
+class BackingStore {
+public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr Addr kPageSize = Addr{1} << kPageShift;
+
+    void write(Addr addr, const std::uint8_t* src, unsigned size) {
+        for (unsigned i = 0; i < size; ++i) {
+            page(addr + i)[offsetOf(addr + i)] = src[i];
+        }
+    }
+
+    void read(Addr addr, std::uint8_t* dst, unsigned size) const {
+        for (unsigned i = 0; i < size; ++i) {
+            const auto it = pages_.find(pageOf(addr + i));
+            dst[i] = (it == pages_.end()) ? 0 : (*it->second)[offsetOf(addr + i)];
+        }
+    }
+
+    /// Service a packet's data movement: writes update the store, reads
+    /// (and read responses being filled) copy the store into the payload.
+    void access(Packet& pkt) {
+        if (pkt.isWrite() && pkt.hasData()) {
+            write(pkt.addr(), pkt.constData(), pkt.size());
+        } else if (pkt.isRead()) {
+            read(pkt.addr(), pkt.data(), pkt.size());
+        }
+    }
+
+    template <typename T>
+    T load(Addr addr) const {
+        T v{};
+        read(addr, reinterpret_cast<std::uint8_t*>(&v), sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void store(Addr addr, T v) {
+        write(addr, reinterpret_cast<const std::uint8_t*>(&v), sizeof(T));
+    }
+
+    std::size_t allocatedPages() const { return pages_.size(); }
+
+private:
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    static Addr pageOf(Addr a) { return a >> kPageShift; }
+    static Addr offsetOf(Addr a) { return a & (kPageSize - 1); }
+
+    Page& page(Addr addr) {
+        auto& slot = pages_[pageOf(addr)];
+        if (!slot) slot = std::make_unique<Page>();
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace g5r

@@ -1,0 +1,65 @@
+// Stride prefetcher operating on the demand-miss stream.
+//
+// Tracks the last miss address and detected stride per requestor; after two
+// consecutive misses with the same stride it predicts the next @p degree
+// blocks. This is the "stride prefetcher" attached to the private L2s in
+// Table 1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/packet.hh"
+
+namespace g5r {
+
+class StridePrefetcher {
+public:
+    StridePrefetcher(unsigned degree, unsigned lineSize)
+        : degree_(degree), lineSize_(lineSize) {}
+
+    /// Observe a demand access (hit or miss); returns blocks to prefetch.
+    std::vector<Addr> notifyAccess(Addr blockAddr, RequestorId requestor) {
+        std::vector<Addr> predictions;
+        Entry& e = table_[requestor];
+        const std::int64_t stride =
+            static_cast<std::int64_t>(blockAddr) - static_cast<std::int64_t>(e.lastAddr);
+        if (e.seen && stride != 0 && stride == e.stride) {
+            if (e.confidence < kMaxConfidence) ++e.confidence;
+        } else if (e.seen) {
+            e.confidence = 0;
+        }
+        e.stride = stride;
+        e.lastAddr = blockAddr;
+        e.seen = true;
+
+        if (e.confidence >= kThreshold) {
+            predictions.reserve(degree_);
+            std::int64_t next = static_cast<std::int64_t>(blockAddr);
+            for (unsigned i = 0; i < degree_; ++i) {
+                next += e.stride;
+                if (next < 0) break;
+                predictions.push_back(static_cast<Addr>(next));
+            }
+        }
+        return predictions;
+    }
+
+private:
+    static constexpr unsigned kThreshold = 2;
+    static constexpr unsigned kMaxConfidence = 4;
+
+    struct Entry {
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        bool seen = false;
+    };
+
+    unsigned degree_;
+    unsigned lineSize_;
+    std::unordered_map<RequestorId, Entry> table_;
+};
+
+}  // namespace g5r

@@ -1,0 +1,109 @@
+// Table 1 main-memory technology presets.
+//
+//   DDR4-2400: 2 ranks/channel, 16 banks/rank, 8 KiB row buffer, 128-entry
+//              write + 64-entry read queues, 18.75 GB/s peak per channel.
+//   GDDR5:     quad-channel, 16 banks/channel, 2 KiB row buffer, same queues,
+//              112 GB/s peak aggregate.
+//   HBM:       8 channels, 16 banks/channel, 2 KiB row buffer, same queues,
+//              128 GB/s peak aggregate.
+//
+// tBURST is derived from the peak per-channel bandwidth (64 B / tBURST);
+// activation/precharge/CAS latencies use representative ~14 ns values.
+#pragma once
+
+#include <string>
+
+#include "mem/dram.hh"
+
+namespace g5r {
+
+enum class MemTech {
+    kIdeal,     ///< 1-cycle, unlimited bandwidth (the Figs. 6/7 baseline).
+    kDdr4_1ch,
+    kDdr4_2ch,
+    kDdr4_4ch,
+    kGddr5,
+    kHbm,
+};
+
+inline const char* memTechName(MemTech tech) {
+    switch (tech) {
+    case MemTech::kIdeal: return "ideal";
+    case MemTech::kDdr4_1ch: return "DDR4-1ch";
+    case MemTech::kDdr4_2ch: return "DDR4-2ch";
+    case MemTech::kDdr4_4ch: return "DDR4-4ch";
+    case MemTech::kGddr5: return "GDDR5";
+    case MemTech::kHbm: return "HBM";
+    }
+    return "unknown";
+}
+
+inline DramChannelParams ddr4ChannelParams() {
+    DramChannelParams p;
+    p.banks = 16;
+    p.ranks = 2;
+    p.rowBufferBytes = 8 * 1024;
+    p.readQueueSize = 64;
+    p.writeQueueSize = 128;
+    p.tRCD = p.tCL = p.tRP = 14'160;  // ~DDR4-2400 CL17.
+    p.tBURST = 3'413;                 // 64 B / 18.75 GB/s.
+    return p;
+}
+
+inline DramChannelParams gddr5ChannelParams() {
+    DramChannelParams p;
+    p.banks = 16;
+    p.ranks = 1;
+    p.rowBufferBytes = 2 * 1024;
+    p.readQueueSize = 64;
+    p.writeQueueSize = 128;
+    p.tRCD = p.tCL = p.tRP = 14'000;
+    p.tBURST = 2'286;  // 64 B / 28 GB/s (112 GB/s over 4 channels).
+    return p;
+}
+
+inline DramChannelParams hbmChannelParams() {
+    DramChannelParams p;
+    p.banks = 16;
+    p.ranks = 1;
+    p.rowBufferBytes = 2 * 1024;
+    p.readQueueSize = 64;
+    p.writeQueueSize = 128;
+    p.tRCD = p.tCL = p.tRP = 14'000;
+    p.tBURST = 4'000;  // 64 B / 16 GB/s per channel (128 GB/s over 8).
+    return p;
+}
+
+/// DRAM parameters for a named technology over @p range. kIdeal has no DRAM
+/// preset; use SimpleMemory instead (see soc/).
+inline MultiChannelDram::Params dramParamsFor(MemTech tech, AddrRange range) {
+    MultiChannelDram::Params p;
+    p.range = range;
+    switch (tech) {
+    case MemTech::kDdr4_1ch:
+        p.channels = 1;
+        p.channel = ddr4ChannelParams();
+        break;
+    case MemTech::kDdr4_2ch:
+        p.channels = 2;
+        p.channel = ddr4ChannelParams();
+        break;
+    case MemTech::kDdr4_4ch:
+        p.channels = 4;
+        p.channel = ddr4ChannelParams();
+        break;
+    case MemTech::kGddr5:
+        p.channels = 4;
+        p.channel = gddr5ChannelParams();
+        break;
+    case MemTech::kHbm:
+        p.channels = 8;
+        p.channel = hbmChannelParams();
+        break;
+    case MemTech::kIdeal:
+        panic("kIdeal is served by SimpleMemory, not MultiChannelDram");
+    }
+    return p;
+}
+
+}  // namespace g5r

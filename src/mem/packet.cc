@@ -1,0 +1,26 @@
+#include "mem/packet.hh"
+
+#include <sstream>
+
+namespace g5r {
+
+const char* memCmdName(MemCmd cmd) {
+    switch (cmd) {
+    case MemCmd::kReadReq: return "ReadReq";
+    case MemCmd::kReadResp: return "ReadResp";
+    case MemCmd::kWriteReq: return "WriteReq";
+    case MemCmd::kWriteResp: return "WriteResp";
+    case MemCmd::kWritebackDirty: return "WritebackDirty";
+    case MemCmd::kPrefetchReq: return "PrefetchReq";
+    }
+    return "Unknown";
+}
+
+std::string Packet::toString() const {
+    std::ostringstream os;
+    os << memCmdName(cmd_) << " [0x" << std::hex << addr_ << std::dec << " +" << size_
+       << "] id=" << id_ << " req=" << requestor_;
+    return os.str();
+}
+
+}  // namespace g5r

@@ -1,0 +1,130 @@
+// Timing ports: the gem5-style point-to-point request/response protocol.
+//
+// A RequestPort (CPU/requester side) binds to exactly one ResponsePort
+// (memory/responder side). Communication is by moving Packet ownership:
+//
+//   * sendTimingReq(pkt): the requester offers a request. If the responder
+//     accepts (returns true) the unique_ptr is moved from; if it rejects,
+//     the pointer is untouched and the responder *must* later call
+//     sendReqRetry() exactly once, at which point the requester may retry.
+//   * sendTimingResp(pkt): symmetric, responder -> requester, with
+//     sendRespRetry() as the unblocking notification.
+//   * sendFunctional(pkt): synchronous, zero-time access used for loading
+//     program images and debug inspection; always succeeds.
+//
+// Ports are plain members of SimObjects; the virtual recv* hooks are
+// implemented by small port subclasses that forward into their owner.
+#pragma once
+
+#include <string>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+
+namespace g5r {
+
+class ResponsePort;
+
+class RequestPort {
+public:
+    explicit RequestPort(std::string name) : name_(std::move(name)) {}
+    RequestPort(const RequestPort&) = delete;
+    RequestPort& operator=(const RequestPort&) = delete;
+    virtual ~RequestPort() = default;
+
+    const std::string& name() const { return name_; }
+    bool isBound() const { return peer_ != nullptr; }
+    void bind(ResponsePort& peer);
+
+    /// Offer a request to the peer. On acceptance @p pkt is moved from;
+    /// on rejection it is untouched and a recvReqRetry() will follow.
+    bool sendTimingReq(PacketPtr& pkt);
+
+    /// Unblock the peer after this side rejected a response.
+    void sendRespRetry();
+
+    /// Synchronous debug/load access; never blocks.
+    void sendFunctional(Packet& pkt);
+
+    /// Incoming response. Return false to reject; @p pkt must then be left
+    /// untouched and this side must later call sendRespRetry().
+    virtual bool recvTimingResp(PacketPtr& pkt) = 0;
+
+    /// The peer can now accept a previously-rejected request.
+    virtual void recvReqRetry() = 0;
+
+private:
+    friend class ResponsePort;
+    std::string name_;
+    ResponsePort* peer_ = nullptr;
+};
+
+class ResponsePort {
+public:
+    explicit ResponsePort(std::string name) : name_(std::move(name)) {}
+    ResponsePort(const ResponsePort&) = delete;
+    ResponsePort& operator=(const ResponsePort&) = delete;
+    virtual ~ResponsePort() = default;
+
+    const std::string& name() const { return name_; }
+    bool isBound() const { return peer_ != nullptr; }
+
+    /// Offer a response to the peer. On acceptance @p pkt is moved from;
+    /// on rejection it is untouched and a recvRespRetry() will follow.
+    bool sendTimingResp(PacketPtr& pkt);
+
+    /// Unblock the peer after this side rejected a request.
+    void sendReqRetry();
+
+    /// Incoming request. Return false to reject; @p pkt must then be left
+    /// untouched and this side must later call sendReqRetry().
+    virtual bool recvTimingReq(PacketPtr& pkt) = 0;
+
+    /// Synchronous access for loads/debug; must always complete.
+    virtual void recvFunctional(Packet& pkt) = 0;
+
+    /// The peer can now accept a previously-rejected response.
+    virtual void recvRespRetry() = 0;
+
+private:
+    friend class RequestPort;
+    std::string name_;
+    RequestPort* peer_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+
+inline void RequestPort::bind(ResponsePort& peer) {
+    simAssert(peer_ == nullptr && peer.peer_ == nullptr, "port double-bind");
+    peer_ = &peer;
+    peer.peer_ = this;
+}
+
+inline bool RequestPort::sendTimingReq(PacketPtr& pkt) {
+    simAssert(peer_ != nullptr, "sendTimingReq on unbound port");
+    simAssert(pkt != nullptr && pkt->isRequest(), "sendTimingReq needs a request packet");
+    return peer_->recvTimingReq(pkt);
+}
+
+inline void RequestPort::sendRespRetry() {
+    simAssert(peer_ != nullptr, "sendRespRetry on unbound port");
+    peer_->recvRespRetry();
+}
+
+inline void RequestPort::sendFunctional(Packet& pkt) {
+    simAssert(peer_ != nullptr, "sendFunctional on unbound port");
+    peer_->recvFunctional(pkt);
+}
+
+inline bool ResponsePort::sendTimingResp(PacketPtr& pkt) {
+    simAssert(peer_ != nullptr, "sendTimingResp on unbound port");
+    simAssert(pkt != nullptr && pkt->isResponse(), "sendTimingResp needs a response packet");
+    return peer_->recvTimingResp(pkt);
+}
+
+inline void ResponsePort::sendReqRetry() {
+    simAssert(peer_ != nullptr, "sendReqRetry on unbound port");
+    peer_->recvReqRetry();
+}
+
+}  // namespace g5r

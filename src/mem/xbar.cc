@@ -1,0 +1,201 @@
+#include "mem/xbar.hh"
+
+#include <algorithm>
+
+namespace g5r {
+
+// ------------------------------------------------------------------- ports --
+
+class Xbar::UpPort final : public ResponsePort {
+public:
+    UpPort(std::string portName, Xbar& owner, unsigned idx)
+        : ResponsePort(std::move(portName)), owner_(owner), idx_(idx) {}
+
+    bool recvTimingReq(PacketPtr& pkt) override { return owner_.handleReq(idx_, pkt); }
+    void recvFunctional(Packet& pkt) override { owner_.handleFunctional(pkt); }
+    void recvRespRetry() override { owner_.deliverResp(idx_); }
+
+private:
+    Xbar& owner_;
+    unsigned idx_;
+};
+
+class Xbar::DownPort final : public RequestPort {
+public:
+    DownPort(std::string portName, Xbar& owner, unsigned idx)
+        : RequestPort(std::move(portName)), owner_(owner), idx_(idx) {}
+
+    bool recvTimingResp(PacketPtr& pkt) override { return owner_.handleResp(idx_, pkt); }
+    void recvReqRetry() override { owner_.deliverReq(idx_); }
+
+private:
+    Xbar& owner_;
+    unsigned idx_;
+};
+
+// -------------------------------------------------------------------- xbar --
+
+Xbar::Xbar(Simulation& sim, std::string objName, const Params& params)
+    : ClockedObject(sim, std::move(objName), params.clockPeriod),
+      params_(params),
+      reqsRouted_(stats_.scalar("reqsRouted", "requests switched downstream")),
+      respsRouted_(stats_.scalar("respsRouted", "responses switched upstream")),
+      layerConflicts_(stats_.scalar("layerConflicts", "sends rejected, layer busy")),
+      bytesRouted_(stats_.scalar("bytesRouted", "payload bytes through the switch")) {}
+
+Xbar::~Xbar() = default;
+
+ResponsePort& Xbar::addCpuSidePort(const std::string& suffix) {
+    const unsigned idx = static_cast<unsigned>(upPorts_.size());
+    upPorts_.push_back(std::make_unique<UpPort>(name() + ".cpu_side." + suffix, *this, idx));
+
+    respLayers_.emplace_back();
+    Layer& layer = respLayers_.back();
+    layer.deliverEvent = std::make_unique<CallbackEvent>(
+        [this, idx] { deliverResp(idx); }, name() + ".respDeliver." + suffix,
+        EventPriority::kResponse);
+    layer.freeEvent = std::make_unique<CallbackEvent>(
+        [this, idx] { finishRespLayer(idx); }, name() + ".respFree." + suffix,
+        EventPriority::kResponse);
+    return *upPorts_.back();
+}
+
+RequestPort& Xbar::addMemSidePort(const std::string& suffix, const RouteSpec& route) {
+    const unsigned idx = static_cast<unsigned>(downPorts_.size());
+    downPorts_.push_back(
+        std::make_unique<DownPort>(name() + ".mem_side." + suffix, *this, idx));
+    routes_.push_back(route);
+
+    reqLayers_.emplace_back();
+    Layer& layer = reqLayers_.back();
+    layer.deliverEvent = std::make_unique<CallbackEvent>(
+        [this, idx] { deliverReq(idx); }, name() + ".reqDeliver." + suffix);
+    layer.freeEvent = std::make_unique<CallbackEvent>(
+        [this, idx] { finishReqLayer(idx); }, name() + ".reqFree." + suffix);
+    return *downPorts_.back();
+}
+
+unsigned Xbar::route(Addr addr) const {
+    for (unsigned i = 0; i < routes_.size(); ++i) {
+        if (routes_[i].matches(addr)) return i;
+    }
+    panicStream(strCat("xbar ", name(), ": no route for address 0x", std::hex, addr));
+}
+
+void Xbar::acceptIntoLayer(Layer& layer, PacketPtr& pkt, unsigned srcIdx,
+                           CallbackEvent& deliverEvent) {
+    // Only payload occupies the datapath: write requests and read responses
+    // carry data; read requests and write acks are a single header beat.
+    const bool carriesData = (pkt->isWrite() && pkt->isRequest()) ||
+                             (pkt->isRead() && pkt->isResponse());
+    const unsigned payload = carriesData ? pkt->size() : 0;
+    const Cycles beats =
+        std::max<Cycles>(1, (payload + params_.widthBytes - 1) / params_.widthBytes);
+    layer.busy = true;
+    layer.waitingPeer = false;
+    layer.srcIdx = srcIdx;
+    // Header latency is pipelined; the layer is occupied for the beats only.
+    layer.freeTick = clockEdge(beats);
+    bytesRouted_ += payload;
+    layer.pkt = std::move(pkt);
+    eventQueue().schedule(deliverEvent, clockEdge(params_.forwardLatency));
+}
+
+// ----------------------------------------------------------- request path --
+
+bool Xbar::handleReq(unsigned srcUp, PacketPtr& pkt) {
+    const unsigned dst = route(pkt->addr());
+    Layer& layer = reqLayers_[dst];
+    if (layer.busy) {
+        ++layerConflicts_;
+        if (std::find(layer.retryList.begin(), layer.retryList.end(), srcUp) ==
+            layer.retryList.end()) {
+            layer.retryList.push_back(srcUp);
+        }
+        return false;
+    }
+    ++reqsRouted_;
+    acceptIntoLayer(layer, pkt, srcUp, *layer.deliverEvent);
+    return true;
+}
+
+void Xbar::deliverReq(unsigned dstDown) {
+    Layer& layer = reqLayers_[dstDown];
+    if (!layer.busy || layer.pkt == nullptr) return;
+
+    const bool wantsRoute = layer.pkt->needsResponse();
+    const std::uint64_t id = layer.pkt->id();
+    if (!downPorts_[dstDown]->sendTimingReq(layer.pkt)) {
+        layer.waitingPeer = true;  // Peer will recvReqRetry -> deliverReq again.
+        return;
+    }
+    if (wantsRoute) respRoute_[id] = layer.srcIdx;
+
+    if (layer.freeTick <= curTick()) {
+        finishReqLayer(dstDown);
+    } else if (!layer.freeEvent->scheduled()) {
+        eventQueue().schedule(*layer.freeEvent, layer.freeTick);
+    }
+}
+
+void Xbar::finishReqLayer(unsigned dstDown) {
+    Layer& layer = reqLayers_[dstDown];
+    layer.busy = false;
+    layer.waitingPeer = false;
+    std::vector<unsigned> waiting;
+    waiting.swap(layer.retryList);
+    for (const unsigned up : waiting) upPorts_[up]->sendReqRetry();
+}
+
+// ---------------------------------------------------------- response path --
+
+bool Xbar::handleResp(unsigned srcDown, PacketPtr& pkt) {
+    const auto it = respRoute_.find(pkt->id());
+    simAssert(it != respRoute_.end(), "response with no recorded route");
+    const unsigned dstUp = it->second;
+
+    Layer& layer = respLayers_[dstUp];
+    if (layer.busy) {
+        ++layerConflicts_;
+        if (std::find(layer.retryList.begin(), layer.retryList.end(), srcDown) ==
+            layer.retryList.end()) {
+            layer.retryList.push_back(srcDown);
+        }
+        return false;
+    }
+    respRoute_.erase(it);
+    ++respsRouted_;
+    acceptIntoLayer(layer, pkt, srcDown, *layer.deliverEvent);
+    return true;
+}
+
+void Xbar::deliverResp(unsigned dstUp) {
+    Layer& layer = respLayers_[dstUp];
+    if (!layer.busy || layer.pkt == nullptr) return;
+
+    if (!upPorts_[dstUp]->sendTimingResp(layer.pkt)) {
+        layer.waitingPeer = true;  // Peer will recvRespRetry -> deliverResp again.
+        return;
+    }
+
+    if (layer.freeTick <= curTick()) {
+        finishRespLayer(dstUp);
+    } else if (!layer.freeEvent->scheduled()) {
+        eventQueue().schedule(*layer.freeEvent, layer.freeTick);
+    }
+}
+
+void Xbar::finishRespLayer(unsigned dstUp) {
+    Layer& layer = respLayers_[dstUp];
+    layer.busy = false;
+    layer.waitingPeer = false;
+    std::vector<unsigned> waiting;
+    waiting.swap(layer.retryList);
+    for (const unsigned down : waiting) downPorts_[down]->sendRespRetry();
+}
+
+void Xbar::handleFunctional(Packet& pkt) {
+    downPorts_[route(pkt.addr())]->sendFunctional(pkt);
+}
+
+}  // namespace g5r

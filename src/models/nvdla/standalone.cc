@@ -1,0 +1,84 @@
+#include "models/nvdla/standalone.hh"
+
+#include <cstring>
+
+#include "models/nvdla/nvdla_design.hh"
+
+namespace g5r::models {
+
+StandaloneResult playTraceStandalone(RtlModel& model, const NvdlaTrace& trace,
+                                     BackingStore& mem, std::uint64_t maxCycles) {
+    StandaloneResult result;
+    trace.loadSegments(mem);
+    model.reset();
+
+    struct PendingResp {
+        std::uint64_t id;
+        std::array<std::uint8_t, G5R_RTL_MEM_DATA_BYTES> data;
+    };
+    std::deque<PendingResp> respQueue;
+    std::size_t nextRegWrite = 0;
+    bool awaitingDevReadResp = false;
+    std::uint64_t lastChecksumRead = 0;
+
+    for (std::uint64_t cycle = 0; cycle < maxCycles; ++cycle) {
+        G5rRtlInput in{};
+        G5rRtlOutput out{};
+
+        // Feed configuration writes, then (after done) one checksum read.
+        bool presentedWrite = false;
+        bool presentedRead = false;
+        if (nextRegWrite < trace.regWrites.size()) {
+            in.dev_valid = 1;
+            in.dev_write = 1;
+            in.dev_addr = trace.regWrites[nextRegWrite].addr;
+            in.dev_wdata = trace.regWrites[nextRegWrite].data;
+            presentedWrite = true;
+        } else if (result.completed && !awaitingDevReadResp) {
+            in.dev_valid = 1;
+            in.dev_write = 0;
+            in.dev_addr = NvdlaDesign::kChecksumReg;
+            presentedRead = true;
+        }
+
+        // Ideal memory: one response per tick from the queue.
+        if (!respQueue.empty()) {
+            in.mem_resp_valid = 1;
+            in.mem_resp_id = respQueue.front().id;
+            std::memcpy(in.mem_resp_data, respQueue.front().data.data(),
+                        respQueue.front().data.size());
+            respQueue.pop_front();
+        }
+        in.mem_req_credits = G5R_RTL_MAX_MEM_REQ;
+
+        model.tick(in, out);
+        if (!result.completed) ++result.cycles;  // Cycles-to-done metric.
+
+        if (presentedWrite && out.dev_ready != 0) ++nextRegWrite;
+        if (presentedRead && out.dev_ready != 0) awaitingDevReadResp = true;
+        if (out.dev_resp_valid != 0 && awaitingDevReadResp) {
+            lastChecksumRead = out.dev_rdata;
+            result.checksum = lastChecksumRead;
+            return result;  // Done and checksum retrieved.
+        }
+
+        // Service the model's memory requests against the backing store.
+        for (unsigned i = 0; i < out.mem_req_count; ++i) {
+            const G5rRtlMemReq& req = out.mem_req[i];
+            PendingResp resp;
+            resp.id = req.id;
+            resp.data.fill(0);
+            if (req.write != 0) {
+                mem.write(req.addr, req.data, req.size);
+            } else {
+                mem.read(req.addr, resp.data.data(), req.size);
+            }
+            respQueue.push_back(resp);
+        }
+
+        if (out.done != 0) result.completed = true;
+    }
+    return result;
+}
+
+}  // namespace g5r::models

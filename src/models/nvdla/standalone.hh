@@ -1,0 +1,29 @@
+// Standalone trace player: the paper's "standalone Verilator simulation
+// employing the wrapper that NVIDIA provides" — the Table 3 baseline.
+//
+// Runs an NVDLA model directly against a BackingStore with an ideal
+// zero-latency memory (requests answered the next tick) and no simulator
+// around it: pure model execution speed.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "bridge/rtl_model.hh"
+#include "mem/backing_store.hh"
+#include "models/nvdla/trace.hh"
+
+namespace g5r::models {
+
+struct StandaloneResult {
+    std::uint64_t cycles = 0;       ///< RTL cycles until done.
+    std::uint64_t checksum = 0;     ///< CSB checksum register at completion.
+    bool completed = false;
+};
+
+/// Play @p trace on @p model to completion (or @p maxCycles).
+StandaloneResult playTraceStandalone(RtlModel& model, const NvdlaTrace& trace,
+                                     BackingStore& mem,
+                                     std::uint64_t maxCycles = 50'000'000);
+
+}  // namespace g5r::models

@@ -1,0 +1,14 @@
+// Generic export shim compiled once into every model shared library.
+//
+// Each model's code exports a uniquely named api accessor (usable when the
+// model is linked in-process); this shim forwards the standard dlopen entry
+// point to it. G5R_MODEL_API_FN is set per target by CMake.
+#include "bridge/rtl_api.h"
+
+#ifndef G5R_MODEL_API_FN
+#error "compile with -DG5R_MODEL_API_FN=<model api accessor>"
+#endif
+
+extern "C" const G5rRtlModelApi* G5R_MODEL_API_FN(void);
+
+extern "C" const G5rRtlModelApi* g5r_rtl_get_api(void) { return G5R_MODEL_API_FN(); }

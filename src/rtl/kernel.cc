@@ -1,0 +1,47 @@
+#include "rtl/kernel.hh"
+
+namespace g5r::rtl {
+
+RegBase::RegBase(Module& owner, std::string regName, unsigned widthBits)
+    : name_(std::move(regName)), width_(widthBits) {
+    simAssert(widthBits >= 1 && widthBits <= 64, "register width out of range");
+    owner.registers_.push_back(this);
+}
+
+Module::Module(std::string moduleName, Module* parent) : name_(std::move(moduleName)) {
+    if (parent != nullptr) parent->children_.push_back(this);
+}
+
+void Module::evalComb() {}
+
+void Module::evalSubtree() {
+    // Hold-by-default: every register's d starts from q, so evalComb() only
+    // has to write the registers it actually changes this cycle.
+    for (RegBase* reg : registers_) reg->holdDefault();
+    evalComb();
+    for (Module* child : children_) child->evalSubtree();
+}
+
+void Module::latchSubtree() {
+    for (RegBase* reg : registers_) reg->latch();
+    for (Module* child : children_) child->latchSubtree();
+}
+
+void Module::tick() {
+    evalSubtree();
+    latchSubtree();
+}
+
+void Module::beginCycle() {
+    for (RegBase* reg : registers_) reg->holdDefault();
+    for (Module* child : children_) child->beginCycle();
+}
+
+void Module::commitCycle() { latchSubtree(); }
+
+void Module::reset() {
+    for (RegBase* reg : registers_) reg->resetState();
+    for (Module* child : children_) child->reset();
+}
+
+}  // namespace g5r::rtl

@@ -1,0 +1,320 @@
+#include "rtl/netlist.hh"
+
+#include <deque>
+#include <sstream>
+
+namespace g5r::rtl {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) {
+        if (tok[0] == '#') break;
+        tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+std::uint64_t parseValue(const std::string& tok, std::size_t lineNo) {
+    try {
+        return std::stoull(tok, nullptr, 0);
+    } catch (const std::exception&) {
+        throw NetlistError("netlist line " + std::to_string(lineNo) + ": bad value " + tok);
+    }
+}
+
+}  // namespace
+
+int Netlist::indexOf(const std::string& name) const {
+    const auto it = byName_.find(name);
+    if (it == byName_.end()) throw NetlistError("undefined net: " + name);
+    return it->second;
+}
+
+Netlist::Netlist(std::string_view source) {
+    struct PendingRef {
+        int node;
+        int slot;
+        std::string name;
+        std::size_t lineNo;
+    };
+    std::vector<PendingRef> refs;  // Resolved after all nodes exist (regs may
+                                   // reference nets defined later).
+
+    std::istringstream stream{std::string{source}};
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(stream, line)) {
+        ++lineNo;
+        const auto tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string& kind = tokens[0];
+
+        auto need = [&](std::size_t n) {
+            if (tokens.size() < n + 1) {
+                throw NetlistError("netlist line " + std::to_string(lineNo) +
+                                   ": too few operands for " + kind);
+            }
+        };
+
+        if (kind == "output") {
+            need(2);
+            refs.push_back(PendingRef{-1, -1, tokens[2], lineNo});
+            outputs_[tokens[1]] = -1;  // Patched below via refs.
+            // Store the alias name in the ref's node slot trick: use a
+            // dedicated pass instead — remember the pair.
+            refs.back().node = static_cast<int>(outputs_.size()) - 1;
+            refs.back().slot = -2;  // Marker: output alias.
+            // Keep the alias key for later patching.
+            refs.back().name = tokens[1] + "\n" + tokens[2];
+            continue;
+        }
+
+        Node node;
+        node.name = tokens[1];
+        if (byName_.count(node.name) > 0) {
+            throw NetlistError("netlist line " + std::to_string(lineNo) +
+                               ": duplicate net " + node.name);
+        }
+
+        auto ref = [&](int slot, const std::string& src) {
+            refs.push_back(PendingRef{static_cast<int>(nodes_.size()), slot, src, lineNo});
+        };
+
+        if (kind == "input") {
+            node.op = Op::kInput;
+            if (tokens.size() > 2) node.width = static_cast<unsigned>(parseValue(tokens[2], lineNo));
+        } else if (kind == "const") {
+            need(2);
+            node.op = Op::kConst;
+            node.init = parseValue(tokens[2], lineNo);
+        } else if (kind == "not") {
+            need(2);
+            node.op = Op::kNot;
+            ref(0, tokens[2]);
+        } else if (kind == "and" || kind == "or" || kind == "xor" || kind == "add" ||
+                   kind == "sub" || kind == "lt" || kind == "ltu" || kind == "eq") {
+            need(3);
+            node.op = kind == "and"  ? Op::kAnd
+                      : kind == "or"  ? Op::kOr
+                      : kind == "xor" ? Op::kXor
+                      : kind == "add" ? Op::kAdd
+                      : kind == "sub" ? Op::kSub
+                      : kind == "lt"  ? Op::kLt
+                      : kind == "ltu" ? Op::kLtu
+                                      : Op::kEq;
+            if (node.op == Op::kLt || node.op == Op::kLtu || node.op == Op::kEq) node.width = 1;
+            ref(0, tokens[2]);
+            ref(1, tokens[3]);
+        } else if (kind == "mux") {
+            need(4);
+            node.op = Op::kMux;
+            ref(0, tokens[2]);
+            ref(1, tokens[3]);
+            ref(2, tokens[4]);
+        } else if (kind == "reg") {
+            need(2);
+            node.op = Op::kReg;
+            ref(0, tokens[2]);
+            if (tokens.size() > 3) node.init = parseValue(tokens[3], lineNo);
+            node.value = node.init;
+        } else {
+            throw NetlistError("netlist line " + std::to_string(lineNo) +
+                               ": unknown statement " + kind);
+        }
+
+        byName_[node.name] = static_cast<int>(nodes_.size());
+        if (node.op == Op::kReg) regIndices_.push_back(static_cast<int>(nodes_.size()));
+        nodes_.push_back(std::move(node));
+    }
+
+    // Resolve references.
+    for (const auto& r : refs) {
+        if (r.slot == -2) {
+            const auto newline = r.name.find('\n');
+            const std::string alias = r.name.substr(0, newline);
+            const std::string target = r.name.substr(newline + 1);
+            const auto it = byName_.find(target);
+            if (it == byName_.end()) {
+                throw NetlistError("netlist line " + std::to_string(r.lineNo) +
+                                   ": output of undefined net " + target);
+            }
+            outputs_[alias] = it->second;
+            continue;
+        }
+        const auto it = byName_.find(r.name);
+        if (it == byName_.end()) {
+            throw NetlistError("netlist line " + std::to_string(r.lineNo) +
+                               ": undefined net " + r.name);
+        }
+        nodes_[r.node].src[r.slot] = it->second;
+    }
+
+    topoSort();
+}
+
+void Netlist::topoSort() {
+    // Kahn's algorithm over combinational nodes; inputs/consts/regs are
+    // sources. A reg's input edge is sequential, not combinational.
+    const int n = static_cast<int>(nodes_.size());
+    std::vector<int> indegree(n, 0);
+    std::vector<std::vector<int>> consumers(n);
+    for (int i = 0; i < n; ++i) {
+        const Node& node = nodes_[i];
+        if (node.op == Op::kInput || node.op == Op::kConst || node.op == Op::kReg) continue;
+        for (const int s : node.src) {
+            if (s < 0) continue;
+            ++indegree[i];
+            consumers[s].push_back(i);
+        }
+    }
+
+    std::deque<int> ready;
+    for (int i = 0; i < n; ++i) {
+        const Node& node = nodes_[i];
+        const bool isSource =
+            node.op == Op::kInput || node.op == Op::kConst || node.op == Op::kReg;
+        if (isSource || indegree[i] == 0) ready.push_back(i);
+    }
+
+    std::vector<bool> placed(n, false);
+    while (!ready.empty()) {
+        const int i = ready.front();
+        ready.pop_front();
+        if (placed[i]) continue;
+        placed[i] = true;
+        const Node& node = nodes_[i];
+        if (node.op != Op::kInput && node.op != Op::kConst && node.op != Op::kReg) {
+            evalOrder_.push_back(i);
+        }
+        for (const int c : consumers[i]) {
+            if (--indegree[c] == 0) ready.push_back(c);
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        if (!placed[i]) {
+            throw NetlistError("combinational cycle through net " + nodes_[i].name);
+        }
+    }
+}
+
+void Netlist::setInput(const std::string& name, std::uint64_t value) {
+    Node& node = nodes_[indexOf(name)];
+    if (node.op != Op::kInput) throw NetlistError(name + " is not an input");
+    node.value = value & mask(node);
+}
+
+std::uint64_t Netlist::output(const std::string& name) const {
+    const auto it = outputs_.find(name);
+    if (it == outputs_.end()) throw NetlistError("unknown output: " + name);
+    return nodes_[it->second].value;
+}
+
+std::uint64_t Netlist::probe(const std::string& name) const {
+    return nodes_[indexOf(name)].value;
+}
+
+void Netlist::eval() {
+    for (auto& node : nodes_) {
+        if (node.op == Op::kConst) node.value = node.init;
+    }
+    for (const int i : evalOrder_) {
+        Node& node = nodes_[i];
+        const auto a = [&] { return nodes_[node.src[0]].value; };
+        const auto b = [&] { return nodes_[node.src[1]].value; };
+        switch (node.op) {
+        case Op::kNot: node.value = ~a(); break;
+        case Op::kAnd: node.value = a() & b(); break;
+        case Op::kOr: node.value = a() | b(); break;
+        case Op::kXor: node.value = a() ^ b(); break;
+        case Op::kAdd: node.value = a() + b(); break;
+        case Op::kSub: node.value = a() - b(); break;
+        case Op::kLt:
+            node.value = static_cast<std::int64_t>(a()) < static_cast<std::int64_t>(b());
+            break;
+        case Op::kLtu: node.value = a() < b(); break;
+        case Op::kEq: node.value = a() == b(); break;
+        case Op::kMux:
+            node.value = a() != 0 ? nodes_[node.src[1]].value : nodes_[node.src[2]].value;
+            break;
+        default: break;
+        }
+        node.value &= mask(node);
+    }
+    // Capture reg next-values after combinational settle.
+    for (const int r : regIndices_) {
+        Node& reg = nodes_[r];
+        reg.next = nodes_[reg.src[0]].value & mask(reg);
+    }
+}
+
+void Netlist::tick() {
+    eval();
+    for (const int r : regIndices_) nodes_[r].value = nodes_[r].next;
+}
+
+void Netlist::reset() {
+    for (const int r : regIndices_) {
+        nodes_[r].value = nodes_[r].init;
+        nodes_[r].next = nodes_[r].init;
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+std::string bitonicSorterNetlist(unsigned n, unsigned width) {
+    if (n == 0 || (n & (n - 1)) != 0) {
+        throw NetlistError("bitonic sorter size must be a power of two");
+    }
+    std::ostringstream os;
+    os << "# bitonic sorting network, n=" << n << " width=" << width << "\n";
+    for (unsigned i = 0; i < n; ++i) os << "input in" << i << ' ' << width << "\n";
+
+    // stage wires: w<stage>_<lane>; stage 0 is the inputs.
+    std::vector<std::string> cur(n);
+    for (unsigned i = 0; i < n; ++i) cur[i] = "in" + std::to_string(i);
+
+    unsigned stage = 0;
+    auto compareExchange = [&](unsigned lo, unsigned hi, bool ascending,
+                               std::vector<std::string>& next) {
+        const std::string a = cur[lo];
+        const std::string b = cur[hi];
+        const std::string tag = "s" + std::to_string(stage) + "_" + std::to_string(lo);
+        os << "lt " << tag << "_cmp " << a << ' ' << b << "\n";
+        // ascending: lo gets min, hi gets max.
+        const char* selLo = ascending ? " " : " ";
+        (void)selLo;
+        if (ascending) {
+            os << "mux " << tag << "_lo " << tag << "_cmp " << a << ' ' << b << "\n";
+            os << "mux " << tag << "_hi " << tag << "_cmp " << b << ' ' << a << "\n";
+        } else {
+            os << "mux " << tag << "_lo " << tag << "_cmp " << b << ' ' << a << "\n";
+            os << "mux " << tag << "_hi " << tag << "_cmp " << a << ' ' << b << "\n";
+        }
+        next[lo] = tag + "_lo";
+        next[hi] = tag + "_hi";
+    };
+
+    // Standard bitonic network (ascending overall).
+    for (unsigned k = 2; k <= n; k <<= 1) {
+        for (unsigned j = k >> 1; j > 0; j >>= 1) {
+            std::vector<std::string> next = cur;
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned partner = i ^ j;
+                if (partner > i) {
+                    const bool ascending = (i & k) == 0;
+                    compareExchange(i, partner, ascending, next);
+                }
+            }
+            cur = std::move(next);
+            ++stage;
+        }
+    }
+
+    for (unsigned i = 0; i < n; ++i) os << "output out" << i << ' ' << cur[i] << "\n";
+    return os.str();
+}
+
+}  // namespace g5r::rtl

@@ -1,0 +1,96 @@
+// Structural netlist interpreter: the GHDL toolflow stand-in.
+//
+// GHDL compiles VHDL into an executable model behind the same wrapper ABI as
+// Verilator's C++. Here, "VHDL" designs are expressed as word-level
+// structural netlists in a small textual format, elaborated and interpreted
+// by this class — a second, independent path from HDL-ish source to a
+// tick-able model, exactly where GHDL sits in the paper's Figure 1.
+//
+// Format (one statement per line, '#' comments):
+//   input  <name> [width]          -- external input net
+//   output <name> <src>            -- external output alias
+//   const  <name> <value>          -- literal
+//   not    <name> <a>              -- bitwise ops
+//   and|or|xor <name> <a> <b>
+//   add|sub <name> <a> <b>
+//   lt|ltu|eq <name> <a> <b>       -- comparisons (1-bit result)
+//   mux    <name> <sel> <a> <b>    -- sel ? a : b
+//   reg    <name> <next> [init]    -- D flip-flop, latched by tick()
+//
+// Nets are up to 64 bits wide (width is bookkeeping for masks/VCD).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g5r::rtl {
+
+class NetlistError : public std::runtime_error {
+public:
+    explicit NetlistError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Netlist {
+public:
+    /// Parse and elaborate; throws NetlistError on syntax errors,
+    /// undefined nets, duplicate definitions, or combinational cycles.
+    explicit Netlist(std::string_view source);
+
+    // --- external interface -------------------------------------------------
+    void setInput(const std::string& name, std::uint64_t value);
+    std::uint64_t output(const std::string& name) const;
+
+    /// Propagate combinational logic from inputs/register outputs.
+    void eval();
+
+    /// Clock edge: eval(), then latch every reg.
+    void tick();
+
+    /// Reset registers to their init values.
+    void reset();
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numRegs() const { return regIndices_.size(); }
+
+    /// Value of any named net after the last eval() (testing/debug).
+    std::uint64_t probe(const std::string& name) const;
+
+private:
+    enum class Op {
+        kInput, kConst, kNot, kAnd, kOr, kXor, kAdd, kSub,
+        kLt, kLtu, kEq, kMux, kReg,
+    };
+
+    struct Node {
+        Op op;
+        std::string name;
+        unsigned width = 64;
+        std::uint64_t value = 0;    ///< Current evaluated value.
+        std::uint64_t init = 0;     ///< Reg: reset value. Const: literal.
+        std::uint64_t next = 0;     ///< Reg: captured next value.
+        int src[3] = {-1, -1, -1};  ///< Operand node indices.
+    };
+
+    int indexOf(const std::string& name) const;
+    std::uint64_t mask(const Node& n) const {
+        return n.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n.width) - 1);
+    }
+    void topoSort();
+
+    std::vector<Node> nodes_;
+    std::map<std::string, int, std::less<>> byName_;
+    std::map<std::string, int, std::less<>> outputs_;  ///< alias -> node index.
+    std::vector<int> evalOrder_;   ///< Combinational nodes, topologically sorted.
+    std::vector<int> regIndices_;
+};
+
+/// Generate a bitonic sorting-network netlist for @p n power-of-two inputs
+/// named in0..in{n-1}, outputs out0..out{n-1} (ascending). This is the
+/// "bitonic sorting accelerator written in VHDL" of the paper's GHDL test.
+std::string bitonicSorterNetlist(unsigned n, unsigned width = 64);
+
+}  // namespace g5r::rtl

@@ -1,0 +1,60 @@
+// VCD waveform writer.
+//
+// Mirrors the Verilator tracing feature the paper relies on for Table 2:
+// waveforms can be enabled and disabled at runtime, and tracing every
+// register every cycle is deliberately expensive in the same way real VCD
+// dumping is (string formatting + file I/O per changed signal).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/kernel.hh"
+
+namespace g5r::rtl {
+
+class VcdWriter {
+public:
+    /// Opens @p path and writes the header for @p top's register hierarchy.
+    VcdWriter(const std::string& path, const Module& top,
+              std::uint64_t timescalePs = 1000);
+    ~VcdWriter();
+    VcdWriter(const VcdWriter&) = delete;
+    VcdWriter& operator=(const VcdWriter&) = delete;
+
+    bool ok() const { return out_.good(); }
+
+    /// Dump the state of every traced signal at @p timestamp (in cycles).
+    /// Only signals whose value changed since the previous dump are written.
+    void dumpCycle(std::uint64_t cycle);
+
+    /// Runtime enable/disable (the Verilator feature Table 2 measures).
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+private:
+    struct TracedSignal {
+        const RegBase* reg;
+        std::string id;            ///< Short VCD identifier code.
+        std::uint64_t lastValue;
+        bool everDumped;
+    };
+
+    void collect(const Module& module);
+    void writeHeader(const Module& top, std::uint64_t timescalePs);
+    void writeScope(const Module& module);
+    static std::string idCode(std::size_t index);
+    void emitValue(const TracedSignal& sig, std::uint64_t value);
+
+    std::ofstream out_;
+    std::vector<TracedSignal> signals_;
+    bool enabled_ = true;
+    bool headerDone_ = false;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+}  // namespace g5r::rtl

@@ -1,0 +1,41 @@
+// ClockedObject: a SimObject with an associated clock.
+//
+// Provides cycle<->tick conversion helpers analogous to gem5's ClockedObject.
+// RtlObject uses these to run an RTL model's clock at a ratio of the SoC
+// clock (e.g. a 1 GHz accelerator inside a 2 GHz system).
+#pragma once
+
+#include "sim/sim_object.hh"
+#include "sim/ticks.hh"
+
+namespace g5r {
+
+class ClockedObject : public SimObject {
+public:
+    ClockedObject(Simulation& sim, std::string name, Tick clockPeriod)
+        : SimObject(sim, std::move(name)), period_(clockPeriod) {}
+
+    Tick clockPeriod() const { return period_; }
+
+    /// Number of whole cycles elapsed at the current tick.
+    Cycles curCycle() const { return curTick() / period_; }
+
+    /// The next clock edge at or after the current tick, offset by
+    /// @p cyclesAhead additional cycles.
+    Tick clockEdge(Cycles cyclesAhead = 0) const {
+        const Tick now = curTick();
+        const Tick thisEdge = ((now + period_ - 1) / period_) * period_;
+        return thisEdge + cyclesAhead * period_;
+    }
+
+    /// Convert a cycle count in this domain to ticks.
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /// Convert ticks to whole cycles in this domain (rounding up).
+    Cycles ticksToCycles(Tick t) const { return (t + period_ - 1) / period_; }
+
+private:
+    Tick period_;
+};
+
+}  // namespace g5r

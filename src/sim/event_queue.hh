@@ -1,0 +1,68 @@
+// The central event queue: a lazy-deletion binary heap over (tick, priority,
+// sequence). Descheduling marks the event's live heap entry stale via a
+// generation counter rather than removing it, keeping all operations O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/ticks.hh"
+
+namespace g5r {
+
+class EventQueue {
+public:
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /// Current simulated time. Monotonically non-decreasing.
+    Tick curTick() const { return curTick_; }
+
+    /// Schedule @p ev at absolute tick @p when (>= curTick()).
+    void schedule(Event& ev, Tick when);
+
+    /// Remove a scheduled event from the queue.
+    void deschedule(Event& ev);
+
+    /// Move an already-scheduled (or idle) event to a new tick.
+    void reschedule(Event& ev, Tick when);
+
+    /// True when no live events remain.
+    bool empty() const { return liveEvents_ == 0; }
+
+    /// Tick of the next live event. Queue must not be empty.
+    Tick nextTick() const;
+
+    /// Pop and process the next event, advancing curTick.
+    void serviceOne();
+
+    /// Total number of events processed so far.
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+    /// Number of currently scheduled events.
+    std::uint64_t numPending() const { return liveEvents_; }
+
+private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        std::uint64_t generation;
+        Event* event;
+    };
+
+    static bool laterThan(const Entry& a, const Entry& b);
+    void siftUp(std::size_t idx);
+    void siftDown(std::size_t idx);
+    void popStale();
+
+    std::vector<Entry> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t numProcessed_ = 0;
+    std::uint64_t liveEvents_ = 0;
+};
+
+}  // namespace g5r

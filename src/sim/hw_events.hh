@@ -1,0 +1,48 @@
+// Hardware event lines: the sideband that connects SoC components to
+// monitoring RTL blocks.
+//
+// The paper wires gem5 core/cache event signals (committed instructions, L1D
+// misses, cycles) to the PMU RTL model's event inputs. Components pulse named
+// lines here; the RTLObject hosting the PMU drains the accumulated pulses on
+// each RTL clock tick and presents them as per-cycle event bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace g5r {
+
+class HwEventBus {
+public:
+    static constexpr unsigned kLines = 32;
+
+    /// Standard line assignments used by the SoC builder and the PMU wrapper.
+    enum Line : unsigned {
+        kCommit0 = 0,  ///< Commit lanes 0..3: one pulse each per instruction.
+        kCommit1 = 1,
+        kCommit2 = 2,
+        kCommit3 = 3,
+        kL1dMiss = 4,
+        kCycle = 5,
+    };
+
+    /// Record @p count pulses on @p line since the last drain.
+    void pulse(unsigned line, std::uint32_t count = 1) {
+        if (line < kLines) pending_[line] += count;
+    }
+
+    /// Read-and-clear all accumulated pulses.
+    std::array<std::uint32_t, kLines> drain() {
+        const auto out = pending_;
+        pending_.fill(0);
+        return out;
+    }
+
+    /// Peek without clearing (tests).
+    const std::array<std::uint32_t, kLines>& peek() const { return pending_; }
+
+private:
+    std::array<std::uint32_t, kLines> pending_{};
+};
+
+}  // namespace g5r

@@ -1,0 +1,56 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+
+namespace g5r {
+namespace {
+
+std::set<std::string, std::less<>> parseDebugFlags() {
+    std::set<std::string, std::less<>> flags;
+    const char* env = std::getenv("G5R_DEBUG");
+    if (!env) return flags;
+    std::string_view rest{env};
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const auto item = rest.substr(0, comma);
+        if (!item.empty()) flags.emplace(item);
+        if (comma == std::string_view::npos) break;
+        rest.remove_prefix(comma + 1);
+    }
+    return flags;
+}
+
+const std::set<std::string, std::less<>>& debugFlags() {
+    static const auto flags = parseDebugFlags();
+    return flags;
+}
+
+std::mutex logMutex;
+
+}  // namespace
+
+[[noreturn]] void panicImpl(std::string_view msg, const std::source_location& loc) {
+    std::cerr << "panic: " << msg << "\n  at " << loc.file_name() << ':' << loc.line()
+              << " (" << loc.function_name() << ")\n";
+    std::abort();
+}
+
+[[noreturn]] void panicStream(const std::string& msg, std::source_location loc) {
+    panicImpl(msg, loc);
+}
+
+bool debugFlagEnabled(std::string_view flag) {
+    const auto& flags = debugFlags();
+    if (flags.empty()) return false;
+    return flags.count("all") > 0 || flags.count(flag) > 0;
+}
+
+void debugPrint(std::string_view flag, const std::string& msg) {
+    const std::lock_guard<std::mutex> lock{logMutex};
+    std::cerr << '[' << flag << "] " << msg << '\n';
+}
+
+}  // namespace g5r

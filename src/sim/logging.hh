@@ -1,0 +1,58 @@
+// Fatal-error and debug-trace helpers.
+//
+// panic()/fatal() terminate the simulation with a source location; they are
+// for internal invariant violations and unrecoverable user errors
+// respectively. Debug tracing is gated per-flag by the G5R_DEBUG environment
+// variable (comma-separated flag names, or "all").
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace g5r {
+
+[[noreturn]] void panicImpl(std::string_view msg, const std::source_location& loc);
+
+/// Abort the simulation: an internal invariant was violated.
+template <typename... Args>
+[[noreturn]] inline void
+panic(std::string_view fmt, const std::source_location loc = std::source_location::current()) {
+    panicImpl(fmt, loc);
+}
+
+/// Abort with a formatted message built from an ostringstream-able list.
+[[noreturn]] void panicStream(const std::string& msg,
+                              std::source_location loc = std::source_location::current());
+
+/// Check an invariant; panic with the expression text when it fails.
+inline void
+simAssert(bool cond, std::string_view what,
+          const std::source_location loc = std::source_location::current()) {
+    if (!cond) panicImpl(what, loc);
+}
+
+/// True when the named debug flag was enabled via G5R_DEBUG.
+bool debugFlagEnabled(std::string_view flag);
+
+/// Emit one debug-trace line (already formatted) for the given flag.
+void debugPrint(std::string_view flag, const std::string& msg);
+
+/// Build a message from streamable parts: strCat(a, " ", b) -> std::string.
+template <typename... Parts>
+std::string strCat(const Parts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+}
+
+/// Debug-trace with lazy formatting: only builds the string when enabled.
+template <typename... Parts>
+void dtrace(std::string_view flag, const Parts&... parts) {
+    if (debugFlagEnabled(flag)) debugPrint(flag, strCat(parts...));
+}
+
+}  // namespace g5r

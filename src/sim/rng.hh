@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation for workload and trace
+// generators. SplitMix64: tiny, fast, well-distributed, and — unlike
+// std::mt19937's distributions — bit-for-bit reproducible across standard
+// libraries, which keeps generated workloads identical everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace g5r {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+    /// Next raw 64-bit value.
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound). bound must be non-zero.
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /// Uniform value in [lo, hi] inclusive.
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+        return lo + below(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace g5r

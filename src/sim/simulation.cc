@@ -1,0 +1,62 @@
+#include "sim/simulation.hh"
+
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+
+namespace g5r {
+
+SimObject::SimObject(Simulation& sim, std::string name)
+    : sim_(sim), stats_(name), name_(std::move(name)) {
+    sim.registerObject(*this);
+}
+
+EventQueue& SimObject::eventQueue() { return sim_.eventQueue(); }
+
+Tick SimObject::curTick() const { return sim_.eventQueue().curTick(); }
+
+void Simulation::exitSimLoop(std::string reason) {
+    exitRequested_ = true;
+    exitMessage_ = std::move(reason);
+}
+
+RunResult Simulation::run(Tick maxTick) {
+    if (!initialized_) {
+        initialized_ = true;
+        for (SimObject* obj : objects_) obj->init();
+        for (SimObject* obj : objects_) obj->startup();
+    }
+    exitRequested_ = false;
+    exitMessage_.clear();
+
+    while (!queue_.empty()) {
+        if (queue_.nextTick() > maxTick) {
+            return RunResult{ExitCause::kMaxTickReached, maxTick, {}};
+        }
+        queue_.serviceOne();
+        if (exitRequested_) {
+            return RunResult{ExitCause::kSimExit, queue_.curTick(), exitMessage_};
+        }
+    }
+    return RunResult{ExitCause::kQueueEmpty, queue_.curTick(), {}};
+}
+
+void Simulation::dumpStats(std::ostream& os) const {
+    for (const SimObject* obj : objects_) obj->statsGroup().dump(os);
+}
+
+const stats::Stat* Simulation::findStat(std::string_view fullName) const {
+    for (const SimObject* obj : objects_) {
+        const std::string& prefix = obj->statsGroup().prefix();
+        if (fullName.size() > prefix.size() + 1 && fullName.substr(0, prefix.size()) == prefix &&
+            fullName[prefix.size()] == '.') {
+            if (const auto* s = obj->statsGroup().find(fullName.substr(prefix.size() + 1))) {
+                return s;
+            }
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace g5r

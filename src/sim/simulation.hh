@@ -1,0 +1,67 @@
+// Simulation: owns the event queue, tracks all SimObjects, and drives the
+// main event loop. One Simulation instance per simulated system; there is no
+// global state, so tests can run many systems in one process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace g5r {
+
+class SimObject;
+namespace stats { class Stat; }
+
+/// Why the event loop returned.
+enum class ExitCause {
+    kQueueEmpty,      ///< No events left to service.
+    kMaxTickReached,  ///< The caller's deadline elapsed.
+    kSimExit,         ///< A component called exitSimLoop().
+};
+
+struct RunResult {
+    ExitCause cause;
+    Tick tick;             ///< Tick at which the loop stopped.
+    std::string message;   ///< exitSimLoop() reason, if any.
+};
+
+class Simulation {
+public:
+    Simulation() = default;
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    EventQueue& eventQueue() { return queue_; }
+    Tick curTick() const { return queue_.curTick(); }
+
+    /// Called by the SimObject constructor.
+    void registerObject(SimObject& obj) { objects_.push_back(&obj); }
+
+    /// Request that the event loop stop at the current tick.
+    void exitSimLoop(std::string reason);
+
+    /// Run until the queue drains, maxTick passes, or exitSimLoop() is
+    /// called. init()/startup() hooks run exactly once, on the first call.
+    RunResult run(Tick maxTick = kMaxTick);
+
+    /// Dump every registered object's statistics.
+    void dumpStats(std::ostream& os) const;
+
+    /// Look up a stat by fully-qualified name ("cpu0.committedInsts").
+    const stats::Stat* findStat(std::string_view fullName) const;
+
+    const std::vector<SimObject*>& objects() const { return objects_; }
+
+private:
+    EventQueue queue_;
+    std::vector<SimObject*> objects_;
+    bool initialized_ = false;
+    bool exitRequested_ = false;
+    std::string exitMessage_;
+};
+
+}  // namespace g5r

@@ -1,0 +1,56 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace g5r::stats {
+
+std::string Group::qualify(std::string_view name) const {
+    std::string full = prefix_;
+    if (!full.empty()) full += '.';
+    full += name;
+    return full;
+}
+
+Scalar& Group::scalar(std::string_view name, std::string_view desc) {
+    auto stat = std::make_unique<Scalar>(qualify(name), std::string{desc});
+    Scalar& ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Formula& Group::formula(std::string_view name, std::string_view desc,
+                        std::function<double()> fn) {
+    auto stat = std::make_unique<Formula>(qualify(name), std::string{desc}, std::move(fn));
+    Formula& ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution& Group::distribution(std::string_view name, std::string_view desc) {
+    auto stat = std::make_unique<Distribution>(qualify(name), std::string{desc});
+    Distribution& ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+const Stat* Group::find(std::string_view name) const {
+    const std::string full = qualify(name);
+    for (const auto& s : stats_) {
+        if (s->name() == full) return s.get();
+    }
+    return nullptr;
+}
+
+void Group::dump(std::ostream& os) const {
+    for (const auto& s : stats_) {
+        os << std::left << std::setw(48) << s->name() << ' '
+           << std::right << std::setw(16) << s->value() << "  # " << s->desc() << '\n';
+    }
+}
+
+void Group::resetAll() {
+    for (auto& s : stats_) s->reset();
+}
+
+}  // namespace g5r::stats

@@ -1,0 +1,142 @@
+// Statistics framework.
+//
+// Each SimObject owns a stats::Group named after it. Stats are created once
+// (during construction or regStats()) and updated on the fast path with plain
+// arithmetic. Formulas are evaluated lazily at read time, so derived metrics
+// such as IPC or MPKI always reflect the current counter values — which is
+// exactly what the Fig. 5 interval-dump machinery needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g5r::stats {
+
+/// Base of every statistic: a named, documented, readable value.
+class Stat {
+public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+    Stat(const Stat&) = delete;
+    Stat& operator=(const Stat&) = delete;
+    virtual ~Stat() = default;
+
+    const std::string& name() const { return name_; }
+    const std::string& desc() const { return desc_; }
+
+    /// Current value of the statistic (counters: total; formulas: computed).
+    virtual double value() const = 0;
+
+    /// Reset accumulated state (formulas are stateless and ignore this).
+    virtual void reset() {}
+
+private:
+    std::string name_;
+    std::string desc_;
+};
+
+/// A simple accumulating counter / gauge.
+class Scalar final : public Stat {
+public:
+    using Stat::Stat;
+
+    Scalar& operator+=(double d) { value_ += d; return *this; }
+    Scalar& operator++() { value_ += 1.0; return *this; }
+    void inc(double d = 1.0) { value_ += d; }
+    void set(double v) { value_ = v; }
+
+    double value() const override { return value_; }
+    void reset() override { value_ = 0.0; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// A derived metric computed on demand from other stats.
+class Formula final : public Stat {
+public:
+    Formula(std::string name, std::string desc, std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), fn_(std::move(fn)) {}
+
+    double value() const override { return fn_ ? fn_() : 0.0; }
+
+private:
+    std::function<double()> fn_;
+};
+
+/// Running distribution: min/max/mean/stddev of sampled values.
+class Distribution final : public Stat {
+public:
+    using Stat::Stat;
+
+    void sample(double v) {
+        ++count_;
+        sum_ += v;
+        sumSq_ += v * v;
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+    double variance() const {
+        if (count_ < 2) return 0.0;
+        const double m = mean();
+        return sumSq_ / static_cast<double>(count_) - m * m;
+    }
+
+    /// The headline value of a distribution is its mean.
+    double value() const override { return mean(); }
+
+    void reset() override {
+        count_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::max();
+        max_ = std::numeric_limits<double>::lowest();
+    }
+
+private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::max();
+    double max_ = std::numeric_limits<double>::lowest();
+};
+
+/// A named collection of stats; one per SimObject, prefix = object name.
+class Group {
+public:
+    explicit Group(std::string prefix) : prefix_(std::move(prefix)) {}
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    Scalar& scalar(std::string_view name, std::string_view desc);
+    Formula& formula(std::string_view name, std::string_view desc, std::function<double()> fn);
+    Distribution& distribution(std::string_view name, std::string_view desc);
+
+    const std::string& prefix() const { return prefix_; }
+
+    /// Look up a stat by its name relative to this group; nullptr if absent.
+    const Stat* find(std::string_view name) const;
+
+    void dump(std::ostream& os) const;
+    void resetAll();
+
+    const std::vector<std::unique_ptr<Stat>>& all() const { return stats_; }
+
+private:
+    std::string qualify(std::string_view name) const;
+
+    std::string prefix_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+};
+
+}  // namespace g5r::stats

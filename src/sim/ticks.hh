@@ -1,0 +1,50 @@
+// Global simulated-time definitions.
+//
+// Like gem5, simulated time is counted in integer "ticks" where one tick is
+// one picosecond. All latencies and clock periods are expressed in ticks so
+// that heterogeneous clock domains (e.g. a 2 GHz core and a 1 GHz RTL model)
+// compose without rounding surprises.
+#pragma once
+
+#include <cstdint>
+
+namespace g5r {
+
+/// Simulated time. 1 tick == 1 picosecond.
+using Tick = std::uint64_t;
+
+/// A count of clock cycles in some clock domain.
+using Cycles = std::uint64_t;
+
+/// Number of ticks in one simulated second.
+inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/// Sentinel for "no deadline".
+inline constexpr Tick kMaxTick = ~Tick{0};
+
+/// Clock period, in ticks, of a clock running at @p mhz megahertz.
+constexpr Tick periodFromMHz(std::uint64_t mhz) {
+    return kTicksPerSecond / (mhz * 1'000'000ULL);
+}
+
+/// Clock period, in ticks, of a clock running at @p ghz gigahertz.
+constexpr Tick periodFromGHz(std::uint64_t ghz) {
+    return periodFromMHz(ghz * 1000ULL);
+}
+
+/// Ticks in @p ns nanoseconds.
+constexpr Tick nsToTicks(double ns) {
+    return static_cast<Tick>(ns * 1000.0);
+}
+
+/// Convert ticks to (double) seconds, for reporting.
+constexpr double ticksToSeconds(Tick t) {
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// Convert ticks to (double) milliseconds, for reporting.
+constexpr double ticksToMs(Tick t) {
+    return static_cast<double>(t) / 1e9;
+}
+
+}  // namespace g5r

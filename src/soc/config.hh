@@ -1,0 +1,109 @@
+// SoC configuration presets — Table 1 of the paper.
+//
+//   Processor     8 cores, 3-wide issue/retire, 92-entry IQ, 192-entry ROB,
+//                 48 LDQ + 48 STQ, 2 GHz
+//   Private       L1I 64 KiB 4-way 2-cycle 8 MSHRs; L1D 64 KiB 4-way 2-cycle
+//   caches        24 MSHRs; L2 256 KiB 8-way 9-cycle 24 MSHRs + stride pf
+//   LLC           16 MiB, 16-way, 64 B lines, 8 banks, 32 MSHRs/bank,
+//                 20-cycle data access
+//   NoC           coherent crossbar, 128-bit wide, 2 cycles
+//   Memory        DDR4-2400 / GDDR5 / HBM presets (mem/dram_configs.hh)
+//   PMU           20 x 32-bit counters, 1 GHz
+//   NVDLA         nv_full: 2048 8-bit MACs, 512 KiB buffer, 1 GHz
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/ooo_core.hh"
+#include "mem/cache/cache.hh"
+#include "mem/dram_configs.hh"
+#include "mem/xbar.hh"
+
+namespace g5r {
+
+struct SocConfig {
+    unsigned numCores = 8;
+    Tick coreClock = periodFromGHz(2);
+    Tick rtlClock = periodFromGHz(1);  ///< PMU / NVDLA clock (Table 1).
+
+    OooCoreParams core;  ///< Defaults already match Table 1.
+
+    AddrRange memRange{0, 1ULL << 31};          ///< 2 GiB of DRAM.
+    Addr deviceBase = 0x9000'0000;              ///< RTL-model CSB windows.
+    Addr deviceStride = 0x1'0000;               ///< One 64 KiB window per model.
+    MemTech memTech = MemTech::kDdr4_1ch;
+
+    unsigned llcBanks = 8;
+    bool l2Prefetcher = true;  ///< Table 1 has it on; ablation bench toggles it.
+
+    CacheParams l1iParams() const {
+        CacheParams p;
+        p.sizeBytes = 64 * 1024;
+        p.assoc = 4;
+        p.lookupLatency = 2;
+        p.responseLatency = 2;
+        p.mshrs = 8;
+        p.clockPeriod = coreClock;
+        return p;
+    }
+
+    CacheParams l1dParams() const {
+        CacheParams p = l1iParams();
+        p.mshrs = 24;
+        p.uncacheable.push_back(deviceRangeAll());
+        return p;
+    }
+
+    CacheParams l2Params() const {
+        CacheParams p;
+        p.sizeBytes = 256 * 1024;
+        p.assoc = 8;
+        p.lookupLatency = 9;
+        p.responseLatency = 9;
+        p.mshrs = 24;
+        p.enablePrefetcher = l2Prefetcher;
+        p.prefetchDegree = 2;
+        p.clockPeriod = coreClock;
+        p.uncacheable.push_back(deviceRangeAll());
+        return p;
+    }
+
+    CacheParams llcBankParams() const {
+        CacheParams p;
+        p.sizeBytes = 16 * 1024 * 1024 / llcBanks;  // 2 MiB per bank.
+        p.assoc = 16;
+        p.lookupLatency = 20;
+        p.responseLatency = 20;
+        p.mshrs = 32;
+        p.clockPeriod = coreClock;
+        return p;
+    }
+
+    Xbar::Params nocParams() const {
+        Xbar::Params p;
+        p.clockPeriod = coreClock;
+        p.forwardLatency = 2;
+        p.widthBytes = 16;  // 128-bit.
+        return p;
+    }
+
+    /// CSB window of attached RTL model number @p idx.
+    AddrRange deviceRange(unsigned idx) const {
+        const Addr base = deviceBase + idx * deviceStride;
+        return AddrRange{base, base + deviceStride};
+    }
+
+    /// The whole device aperture (for cache uncacheable lists).
+    AddrRange deviceRangeAll() const {
+        return AddrRange{deviceBase, deviceBase + 64 * deviceStride};
+    }
+};
+
+/// The paper's full Table 1 system.
+inline SocConfig table1Config(MemTech tech = MemTech::kDdr4_1ch) {
+    SocConfig cfg;
+    cfg.memTech = tech;
+    return cfg;
+}
+
+}  // namespace g5r

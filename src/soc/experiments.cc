@@ -1,0 +1,177 @@
+#include "soc/experiments.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "soc/model_loader.hh"
+#include "soc/nvdla_host.hh"
+#include "soc/soc.hh"
+
+namespace g5r::experiments {
+
+bool fullScaleRequested() {
+    const char* env = std::getenv("GEM5RTL_FULL");
+    return env != nullptr && env[0] != '0';
+}
+
+// ------------------------------------------------------------------ Fig 5 --
+
+PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
+    Simulation sim;
+    SocConfig socCfg = table1Config(config.memTech);
+    socCfg.numCores = config.numCores;
+    Soc soc{sim, socCfg};
+
+    // Workload: the three sorting kernels with sleeps, on core 0.
+    const isa::Program program = workloads::sortBenchmarkProgram(config.layout);
+    workloads::populateSortArrays(soc.memory(), config.layout);
+    soc.loadProgram(0, program);
+
+    std::unique_ptr<PmuObserver> observer;
+    RtlObject* pmu = nullptr;
+    if (config.attachPmu) {
+        RtlObjectParams rp;
+        rp.clockPeriod = socCfg.coreClock;  // Count at core resolution (Fig. 5);
+                                            // Table 1's 1 GHz ratio is exercised
+                                            // in the overhead study instead.
+        pmu = &soc.attachRtlModel("pmu", loadRtlModel("pmu"), rp, Soc::MemPorts::kNone,
+                                  /*wireEventBus=*/true);
+
+        PmuObserver::Params op;
+        op.pmuBase = soc.deviceBaseOf(0);
+        op.clockPeriod = socCfg.coreClock;
+        OooCore& core0 = soc.core(0);
+        Cache& l1d0 = soc.l1d(0);
+        observer = std::make_unique<PmuObserver>(
+            sim, "system.pmu_observer", op, [&core0, &l1d0]() -> std::array<double, 3> {
+                const double misses = l1d0.statsGroup().find("misses")->value() +
+                                      l1d0.statsGroup().find("mshrHits")->value();
+                return {static_cast<double>(core0.committedInstructions()),
+                        static_cast<double>(core0.cyclesRetired()), misses};
+            });
+        observer->setConfigWrites(PmuObserver::fig5Config(config.intervalCycles));
+        observer->port().bind(soc.addHostPort("pmu_observer"));
+        pmu->setIrqCallback([&obs = *observer](bool level) { obs.onIrq(level); });
+
+        if (!config.waveformPath.empty()) pmu->traceStart(config.waveformPath);
+    }
+
+    const RunResult run = sim.run(config.maxTicks);
+
+    PmuRunResult result;
+    result.completed = run.cause == ExitCause::kSimExit;
+    result.finalTick = run.tick;
+    result.committedInsts = soc.core(0).committedInstructions();
+    result.cycles = soc.core(0).cyclesRetired();
+
+    if (observer != nullptr) {
+        result.rawSamples = observer->samples();
+        const auto& samples = result.rawSamples;
+        for (std::size_t i = 1; i < samples.size(); ++i) {
+            const auto& prev = samples[i - 1];
+            const auto& cur = samples[i];
+            PmuInterval interval;
+            interval.timeMs = ticksToMs(cur.irqTick);
+            // PMU counters accumulate; the cycle counter resets each
+            // interrupt, so the interval length is the threshold.
+            const double pmuDeltaInsts =
+                static_cast<double>(cur.pmuCommits() - prev.pmuCommits());
+            const double pmuDeltaMisses =
+                static_cast<double>(cur.pmuL1dMisses() - prev.pmuL1dMisses());
+            const double pmuCyclesInInterval = static_cast<double>(config.intervalCycles);
+            interval.pmuIpc = pmuDeltaInsts / pmuCyclesInInterval;
+            interval.pmuMpki =
+                pmuDeltaInsts > 0 ? 1000.0 * pmuDeltaMisses / pmuDeltaInsts : 0.0;
+
+            const double gem5DeltaInsts = cur.gem5Insts - prev.gem5Insts;
+            const double gem5DeltaCycles = cur.gem5Cycles - prev.gem5Cycles;
+            const double gem5DeltaMisses = cur.gem5L1dMisses - prev.gem5L1dMisses;
+            interval.gem5Ipc =
+                gem5DeltaCycles > 0 ? gem5DeltaInsts / gem5DeltaCycles : 0.0;
+            interval.gem5Mpki =
+                gem5DeltaInsts > 0 ? 1000.0 * gem5DeltaMisses / gem5DeltaInsts : 0.0;
+
+            result.maxAbsIpcError =
+                std::max(result.maxAbsIpcError, std::abs(interval.pmuIpc - interval.gem5Ipc));
+            result.intervals.push_back(interval);
+        }
+    }
+    return result;
+}
+
+// --------------------------------------------------------------- Figs 6/7 --
+
+DseRunResult runNvdlaDse(const DseRunConfig& config) {
+    Simulation sim;
+    SocConfig socCfg = table1Config(config.memTech);
+    socCfg.numCores = config.numCores;
+    Soc soc{sim, socCfg};
+
+    struct Instance {
+        models::NvdlaTrace trace;
+        RtlObject* rtl = nullptr;
+        std::unique_ptr<NvdlaHost> host;
+    };
+    std::vector<Instance> instances(config.numAccelerators);
+
+    unsigned remaining = config.numAccelerators;
+    for (unsigned i = 0; i < config.numAccelerators; ++i) {
+        models::NvdlaPlacement placement;
+        placement.ifmapBase = 0x2000'0000ULL + i * 0x0400'0000ULL;
+        placement.weightBase = placement.ifmapBase + 0x0100'0000ULL;
+        placement.ofmapBase = placement.ifmapBase + 0x0200'0000ULL;
+
+        Instance& inst = instances[i];
+        inst.trace = models::makeConvTrace(config.workloadName + std::to_string(i),
+                                           config.shape, placement, 0x5EED + i,
+                                           config.sramScratchpad);
+
+        RtlObjectParams rp;
+        rp.clockPeriod = socCfg.rtlClock;  // NVDLA at 1 GHz (Table 1).
+        rp.maxInflight = config.maxInflight;
+        inst.rtl = &soc.attachRtlModel("nvdla" + std::to_string(i), loadRtlModel("nvdla"),
+                                       rp,
+                                       config.sramScratchpad
+                                           ? Soc::MemPorts::kWithScratchpad
+                                           : Soc::MemPorts::kMainMemory,
+                                       /*wireEventBus=*/false);
+        if (config.sramScratchpad) {
+            // Weights live in the scratchpad; stage them there directly (the
+            // host-side DMA into SRAM is not part of the measured run).
+            const auto& weights = inst.trace.segments[1];
+            soc.scratchpadStore(i).write(weights.addr, weights.bytes.data(),
+                                         static_cast<unsigned>(weights.bytes.size()));
+        }
+
+        NvdlaHost::Params hp;
+        hp.csbBase = soc.deviceBaseOf(i);
+        hp.clockPeriod = socCfg.coreClock;
+        inst.host = std::make_unique<NvdlaHost>(sim, "system.host" + std::to_string(i),
+                                                hp, inst.trace);
+        inst.host->port().bind(soc.addHostPort("host" + std::to_string(i)));
+        inst.host->setDoneCallback([&remaining, &sim] {
+            if (--remaining == 0) sim.exitSimLoop("all accelerators done");
+        });
+    }
+
+    const RunResult run = sim.run(config.maxTicks);
+
+    DseRunResult result;
+    result.completed = run.cause == ExitCause::kSimExit && remaining == 0;
+    result.checksumsOk = true;
+    Tick last = 0;
+    for (auto& inst : instances) {
+        result.checksumsOk = result.checksumsOk && inst.host->checksumOk();
+        result.perAcceleratorTicks.push_back(inst.host->finishTick());
+        last = std::max(last, inst.host->finishTick());
+    }
+    result.runtimeTicks = last;
+    if (!instances.empty()) {
+        const auto* dist = dynamic_cast<const stats::Distribution*>(
+            instances[0].rtl->statsGroup().find("outstanding"));
+        if (dist != nullptr) result.avgOutstanding = dist->mean();
+    }
+    return result;
+}
+
+}  // namespace g5r::experiments

@@ -1,0 +1,37 @@
+// Locating and loading the RTL model shared libraries at runtime.
+//
+// Models live in <build>/models (the path is baked in at compile time and
+// can be overridden with the G5R_MODEL_DIR environment variable), and are
+// loaded with dlopen through SharedLibModel — the paper's deployment, where
+// the simulator binary has no link-time knowledge of any model.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bridge/rtl_model.hh"
+
+#ifndef G5R_MODEL_DIR
+#define G5R_MODEL_DIR "./models"
+#endif
+
+namespace g5r {
+
+inline std::string rtlModelDir() {
+    if (const char* env = std::getenv("G5R_MODEL_DIR")) return env;
+    return G5R_MODEL_DIR;
+}
+
+inline std::string rtlModelPath(const std::string& shortName) {
+    return rtlModelDir() + "/lib" + shortName + "_rtl.so";
+}
+
+/// Load "pmu", "nvdla" or "bitonic" (or any model following the naming
+/// convention) from the model directory.
+inline std::unique_ptr<RtlModel> loadRtlModel(const std::string& shortName,
+                                              const std::string& config = "") {
+    return SharedLibModel::load(rtlModelPath(shortName), config);
+}
+
+}  // namespace g5r

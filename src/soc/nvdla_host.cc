@@ -1,0 +1,109 @@
+#include "soc/nvdla_host.hh"
+
+namespace g5r {
+
+NvdlaHost::NvdlaHost(Simulation& sim, std::string objName, const Params& params,
+                     models::NvdlaTrace trace)
+    : ClockedObject(sim, std::move(objName), params.clockPeriod),
+      params_(params),
+      trace_(std::move(trace)),
+      port_(name() + ".port", *this),
+      advanceEvent_([this] { advance(); }, name() + ".advance"),
+      csbWrites_(stats_.scalar("csbWrites", "configuration writes issued")),
+      statusPolls_(stats_.scalar("statusPolls", "status-register polls")) {}
+
+void NvdlaHost::startup() {
+    // Trace load: data segments into main memory (functional, as the real
+    // host would have done before handing off to the accelerator).
+    for (const auto& seg : trace_.segments) {
+        // Chunk into line-sized functional writes to keep packets bounded.
+        std::size_t offset = 0;
+        while (offset < seg.bytes.size()) {
+            const auto chunk = std::min<std::size_t>(64, seg.bytes.size() - offset);
+            Packet pkt{MemCmd::kWriteReq, seg.addr + offset, static_cast<unsigned>(chunk)};
+            pkt.setData(seg.bytes.data() + offset);
+            port_.sendFunctional(pkt);
+            offset += chunk;
+        }
+    }
+    state_ = State::kWriteRegs;
+    startTick_ = curTick();
+    eventQueue().schedule(advanceEvent_, clockEdge());
+}
+
+void NvdlaHost::advance() {
+    if (awaitingResp_ || pendingSend_ != nullptr) {
+        trySend();
+        return;
+    }
+    switch (state_) {
+    case State::kIdle:
+    case State::kFinished:
+        return;
+    case State::kWriteRegs: {
+        if (nextRegWrite_ >= trace_.regWrites.size()) {
+            state_ = State::kPollStatus;
+            eventQueue().schedule(advanceEvent_,
+                                  clockEdge(params_.pollIntervalCycles));
+            return;
+        }
+        const auto& rw = trace_.regWrites[nextRegWrite_];
+        auto pkt = makeWritePacket(params_.csbBase + rw.addr, 8);
+        pkt->set<std::uint64_t>(rw.data);
+        pendingSend_ = std::move(pkt);
+        ++csbWrites_;
+        trySend();
+        return;
+    }
+    case State::kPollStatus: {
+        pendingSend_ = makeReadPacket(params_.csbBase + models::NvdlaDesign::kStatusReg, 8);
+        ++statusPolls_;
+        trySend();
+        return;
+    }
+    case State::kReadChecksum: {
+        pendingSend_ =
+            makeReadPacket(params_.csbBase + models::NvdlaDesign::kChecksumReg, 8);
+        trySend();
+        return;
+    }
+    }
+}
+
+void NvdlaHost::trySend() {
+    if (pendingSend_ == nullptr) return;
+    if (!port_.sendTimingReq(pendingSend_)) return;  // Retry resends.
+    awaitingResp_ = true;
+}
+
+bool NvdlaHost::handleResp(PacketPtr& pkt) {
+    awaitingResp_ = false;
+    switch (state_) {
+    case State::kWriteRegs:
+        ++nextRegWrite_;
+        eventQueue().reschedule(advanceEvent_, clockEdge(1));
+        break;
+    case State::kPollStatus: {
+        const std::uint64_t status = pkt->get<std::uint64_t>();
+        if ((status & 2u) != 0) {  // Done bit.
+            state_ = State::kReadChecksum;
+            eventQueue().reschedule(advanceEvent_, clockEdge(1));
+        } else {
+            eventQueue().reschedule(advanceEvent_, clockEdge(params_.pollIntervalCycles));
+        }
+        break;
+    }
+    case State::kReadChecksum:
+        checksumRead_ = pkt->get<std::uint64_t>();
+        state_ = State::kFinished;
+        finishTick_ = curTick();
+        if (doneCallback_) doneCallback_();
+        break;
+    default:
+        break;
+    }
+    pkt.reset();
+    return true;
+}
+
+}  // namespace g5r

@@ -1,0 +1,260 @@
+// RTLObject integration: shared-library loading (dlopen), device-channel
+// transactions, model-initiated memory traffic with the in-flight cap, TLB
+// translation, clock ratios, interrupts, and a full NVDLA-over-SoC run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bridge/rtl_object.hh"
+#include "common/test_requester.hh"
+#include "mem/simple_mem.hh"
+#include "mem/xbar.hh"
+#include "models/nvdla/trace.hh"
+#include "models/pmu/pmu_design.hh"
+#include "soc/nvdla_host.hh"
+
+#ifndef G5R_MODEL_DIR
+#error "tests must be compiled with -DG5R_MODEL_DIR"
+#endif
+
+namespace g5r {
+namespace {
+
+std::string modelPath(const std::string& lib) {
+    return std::string{G5R_MODEL_DIR} + "/" + lib;
+}
+
+TEST(SharedLibModel, LoadsAllThreeModelLibraries) {
+    const auto pmu = SharedLibModel::load(modelPath("libpmu_rtl.so"), "");
+    EXPECT_STREQ(pmu->modelName(), "pmu");
+    const auto nvdla = SharedLibModel::load(modelPath("libnvdla_rtl.so"), "");
+    EXPECT_STREQ(nvdla->modelName(), "nvdla");
+    const auto bitonic = SharedLibModel::load(modelPath("libbitonic_rtl.so"), "n=8");
+    EXPECT_STREQ(bitonic->modelName(), "bitonic");
+}
+
+TEST(SharedLibModel, MissingLibraryThrows) {
+    EXPECT_THROW(SharedLibModel::load("/nonexistent/libfoo.so", ""), std::runtime_error);
+}
+
+// ------------------------------------------------------------- PMU-on-SoC --
+
+struct PmuHarness {
+    PmuHarness(Tick rtlPeriod = periodFromGHz(1)) {
+        RtlObjectParams params;
+        params.clockPeriod = rtlPeriod;
+        rtl = std::make_unique<RtlObject>(
+            sim, "pmu_obj", params,
+            SharedLibModel::load(modelPath("libpmu_rtl.so"), ""), &bus);
+        req = std::make_unique<testing::TestRequester>(sim, "host");
+        req->port().bind(rtl->cpuSidePort(0));
+    }
+
+    void writeReg(std::uint64_t addr, std::uint64_t data) {
+        auto pkt = makeWritePacket(addr, 8);
+        pkt->set<std::uint64_t>(data);
+        req->issueAt(sim.curTick(), std::move(pkt));
+        runUntilResponses();
+    }
+
+    std::uint64_t readReg(std::uint64_t addr) {
+        req->issueAt(sim.curTick(), makeReadPacket(addr, 8));
+        runUntilResponses();
+        return req->responses().back().pkt->get<std::uint64_t>();
+    }
+
+    void runUntilResponses() {
+        // RTLObject ticks forever; advance bounded slices until idle.
+        for (int slice = 0; slice < 1000 && !req->allResponsesReceived(); ++slice) {
+            sim.run(sim.curTick() + 10'000);
+        }
+        ASSERT_TRUE(req->allResponsesReceived());
+    }
+
+    void runCycles(std::uint64_t rtlCycles, Tick rtlPeriod = periodFromGHz(1)) {
+        sim.run(sim.curTick() + rtlCycles * rtlPeriod);
+    }
+
+    Simulation sim;
+    HwEventBus bus;
+    std::unique_ptr<RtlObject> rtl;
+    std::unique_ptr<testing::TestRequester> req;
+};
+
+TEST(RtlObjectPmu, DeviceChannelReadsAndWrites) {
+    PmuHarness h;
+    EXPECT_EQ(h.readReg(models::PmuDesign::kIdReg), models::PmuDesign::kIdRegValue);
+    h.writeReg(models::PmuDesign::kEnableReg, 0x3F);
+    EXPECT_EQ(h.readReg(models::PmuDesign::kEnableReg), 0x3Fu);
+    EXPECT_GT(h.sim.findStat("pmu_obj.devReads")->value(), 0.0);
+    EXPECT_GT(h.sim.findStat("pmu_obj.devWrites")->value(), 0.0);
+}
+
+TEST(RtlObjectPmu, EventBusPulsesReachTheModel) {
+    PmuHarness h;
+    h.writeReg(models::PmuDesign::kEnableReg, 1);  // Counter 0 on commit lane 0.
+    for (int i = 0; i < 25; ++i) h.bus.pulse(HwEventBus::kCommit0);
+    h.runCycles(20);  // Pulses drain on the next ticks.
+    EXPECT_EQ(h.readReg(models::PmuDesign::kCounterBase), 25u);
+}
+
+TEST(RtlObjectPmu, CycleCounterTracksRtlClock) {
+    PmuHarness h;
+    h.writeReg(models::PmuDesign::kEnableReg, 1u << HwEventBus::kCycle);
+    const std::uint64_t before = h.readReg(models::PmuDesign::kCounterBase +
+                                           8 * HwEventBus::kCycle);
+    h.runCycles(1000);
+    const std::uint64_t after = h.readReg(models::PmuDesign::kCounterBase +
+                                          8 * HwEventBus::kCycle);
+    EXPECT_NEAR(static_cast<double>(after - before), 1000.0, 30.0);
+}
+
+TEST(RtlObjectPmu, ClockRatioHalvesTicks) {
+    PmuHarness fast{periodFromGHz(2)};
+    PmuHarness slow{periodFromGHz(1)};
+    fast.sim.run(1'000'000);  // 1 us.
+    slow.sim.run(1'000'000);
+    const double fastTicks = fast.sim.findStat("pmu_obj.ticks")->value();
+    const double slowTicks = slow.sim.findStat("pmu_obj.ticks")->value();
+    EXPECT_NEAR(fastTicks / slowTicks, 2.0, 0.05);
+}
+
+TEST(RtlObjectPmu, ThresholdInterruptReachesTheCallback) {
+    PmuHarness h;
+    int edges = 0;
+    bool level = false;
+    h.rtl->setIrqCallback([&](bool l) {
+        ++edges;
+        level = l;
+    });
+    h.writeReg(models::PmuDesign::kEnableReg, 1u << HwEventBus::kCycle);
+    h.writeReg(models::PmuDesign::kThresholdSelReg, HwEventBus::kCycle);
+    h.writeReg(models::PmuDesign::kThresholdReg, 100);
+    h.runCycles(300);
+    EXPECT_GE(edges, 1);
+    EXPECT_TRUE(level);
+    EXPECT_TRUE(h.rtl->irqLevel());
+    // Clearing the IRQ drops the line.
+    h.writeReg(models::PmuDesign::kIrqStatusReg, 0);
+    h.runCycles(5);
+    EXPECT_FALSE(h.rtl->irqLevel());
+}
+
+// ----------------------------------------------------------- NVDLA-on-SoC --
+
+struct NvdlaSocHarness {
+    static constexpr Addr kCsbBase = 0x6000'0000;
+
+    explicit NvdlaSocHarness(unsigned maxInflight = 64, bool useTlb = false) {
+        const auto shape = [] {
+            models::NvdlaShape s;
+            s.width = s.height = 16;
+            s.inChannels = s.outChannels = 8;
+            s.filterH = s.filterW = 1;
+            s.refetch = 1;
+            return s;
+        }();
+        trace = models::makeConvTrace("tiny", shape, models::NvdlaPlacement{}, 21);
+
+        xbar = std::make_unique<Xbar>(sim, "xbar", Xbar::Params{});
+        SimpleMemory::Params mp;
+        mp.range = AddrRange{0, 1ULL << 30};
+        mp.latency = 50'000;  // 50 ns.
+        mem = std::make_unique<SimpleMemory>(sim, "mem", mp, store);
+
+        if (useTlb) {
+            tlb = std::make_unique<Tlb>(sim, "tlb");
+            // Model addresses are "virtual": shift everything up 1 MiB (disjoint from the virtual regions).
+            for (const auto& seg : trace.segments) {
+                tlb->map(seg.addr, seg.addr + 0x0010'0000, seg.bytes.size());
+            }
+            tlb->map(trace.placement.ofmapBase, trace.placement.ofmapBase + 0x0010'0000,
+                     shape.ofmapBytes());
+        }
+
+        RtlObjectParams rp;
+        rp.maxInflight = maxInflight;
+        rp.translate = useTlb;
+        rtl = std::make_unique<RtlObject>(
+            sim, "nvdla0", rp, SharedLibModel::load(modelPath("libnvdla_rtl.so"), ""),
+            nullptr, tlb.get());
+
+        NvdlaHost::Params hp;
+        hp.csbBase = kCsbBase;
+        host = std::make_unique<NvdlaHost>(sim, "host", hp, trace);
+        host->setDoneCallback([this] { sim.exitSimLoop("nvdla done"); });
+
+        host->port().bind(xbar->addCpuSidePort("host"));
+        rtl->memSidePort(0).bind(xbar->addCpuSidePort("dla_dbbif"));
+        rtl->memSidePort(1).bind(xbar->addCpuSidePort("dla_sramif"));
+        xbar->addMemSidePort("mem", RouteSpec{mp.range}).bind(mem->port());
+        xbar->addMemSidePort("csb", RouteSpec{AddrRange{kCsbBase, kCsbBase + 0x1000}})
+            .bind(rtl->cpuSidePort(0));
+    }
+
+    RunResult run() { return sim.run(sim.curTick() + 500'000'000'000ULL); }
+
+    Simulation sim;
+    BackingStore store;
+    models::NvdlaTrace trace;
+    std::unique_ptr<Xbar> xbar;
+    std::unique_ptr<SimpleMemory> mem;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<RtlObject> rtl;
+    std::unique_ptr<NvdlaHost> host;
+};
+
+TEST(RtlObjectNvdla, EndToEndTraceRunVerifiesChecksum) {
+    NvdlaSocHarness h;
+    const auto result = h.run();
+    EXPECT_EQ(result.cause, ExitCause::kSimExit);
+    EXPECT_TRUE(h.host->finished());
+    EXPECT_TRUE(h.host->checksumOk())
+        << "read 0x" << std::hex << h.host->checksumRead() << " expected 0x"
+        << h.trace.expectedChecksum;
+    // The ofmap landed in memory.
+    EXPECT_EQ(h.store.load<std::uint8_t>(h.trace.placement.ofmapBase + 5), 5);
+    EXPECT_GT(h.sim.findStat("nvdla0.memReads")->value(), 0.0);
+    EXPECT_GT(h.sim.findStat("nvdla0.memWrites")->value(), 0.0);
+}
+
+TEST(RtlObjectNvdla, InflightCapIsRespected) {
+    NvdlaSocHarness h{4};
+    h.run();
+    ASSERT_TRUE(h.host->finished());
+    const auto* dist = dynamic_cast<const stats::Distribution*>(
+        h.sim.findStat("nvdla0.outstanding"));
+    ASSERT_NE(dist, nullptr);
+    EXPECT_LE(dist->maxValue(), 4.0);
+    EXPECT_GT(h.sim.findStat("nvdla0.zeroCreditTicks")->value(), 0.0);
+}
+
+TEST(RtlObjectNvdla, MoreCreditsFinishFaster) {
+    NvdlaSocHarness starved{1};
+    NvdlaSocHarness fed{64};
+    starved.run();
+    fed.run();
+    ASSERT_TRUE(starved.host->finished());
+    ASSERT_TRUE(fed.host->finished());
+    EXPECT_GT(starved.host->finishTick(), 2 * fed.host->finishTick());
+}
+
+TEST(RtlObjectNvdla, TlbTranslationRedirectsTraffic) {
+    NvdlaSocHarness h{64, /*useTlb=*/true};
+    // Load the segments at their *physical* (translated) locations too,
+    // since the host's functional loads are untranslated in this test.
+    for (const auto& seg : h.trace.segments) {
+        h.store.write(seg.addr + 0x0010'0000, seg.bytes.data(),
+                      static_cast<unsigned>(seg.bytes.size()));
+    }
+    h.run();
+    ASSERT_TRUE(h.host->finished());
+    EXPECT_TRUE(h.host->checksumOk());
+    // The ofmap appears at the translated address.
+    EXPECT_EQ(h.store.load<std::uint8_t>(h.trace.placement.ofmapBase + 0x0010'0000 + 7), 7);
+    EXPECT_GT(h.sim.findStat("tlb.lookups")->value(), 0.0);
+    EXPECT_GT(h.sim.findStat("tlb.hits")->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace g5r

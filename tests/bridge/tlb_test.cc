@@ -1,0 +1,67 @@
+// TLB object: mappings, identity fallback (the paper's IOMMU bypass),
+// cached-entry behaviour and statistics.
+#include <gtest/gtest.h>
+
+#include "bridge/tlb.hh"
+
+namespace g5r {
+namespace {
+
+TEST(Tlb, UnmappedAddressesPassThroughIdentity) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb"};
+    EXPECT_EQ(tlb.translate(0x1234'5678), 0x1234'5678u);
+    EXPECT_EQ(tlb.statsGroup().find("identityFallbacks")->value(), 1.0);
+}
+
+TEST(Tlb, MappedRangeTranslates) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb"};
+    tlb.map(0x10000, 0x90000, 0x3000);  // Three pages.
+    EXPECT_EQ(tlb.mappedPages(), 3u);
+    EXPECT_EQ(tlb.translate(0x10000), 0x90000u);
+    EXPECT_EQ(tlb.translate(0x10FFF), 0x90FFFu);
+    EXPECT_EQ(tlb.translate(0x11000), 0x91000u);
+    EXPECT_EQ(tlb.translate(0x12ABC), 0x92ABCu);
+    // One byte past the mapping: identity again.
+    EXPECT_EQ(tlb.translate(0x13000), 0x13000u);
+}
+
+TEST(Tlb, UnalignedRangeCoversPartialPages) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb"};
+    tlb.map(0x20800, 0x80800, 0x1000);  // Straddles two pages.
+    EXPECT_EQ(tlb.mappedPages(), 2u);
+    EXPECT_EQ(tlb.translate(0x20800), 0x80800u);
+    EXPECT_EQ(tlb.translate(0x21000), 0x81000u);
+}
+
+TEST(Tlb, RepeatedLookupsHitTheCachedEntries) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb", 4};
+    tlb.map(0x40000, 0xC0000, 0x1000);
+    tlb.translate(0x40010);  // Miss (refill).
+    tlb.translate(0x40020);  // Hit.
+    tlb.translate(0x40030);  // Hit.
+    EXPECT_EQ(tlb.statsGroup().find("lookups")->value(), 3.0);
+    EXPECT_EQ(tlb.statsGroup().find("hits")->value(), 2.0);
+}
+
+TEST(Tlb, CachedEntriesEvictLru) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb", 2};  // Two cached entries.
+    for (unsigned p = 0; p < 4; ++p) tlb.map(0x100000 + p * 0x1000, 0x500000 + p * 0x1000, 0x1000);
+    tlb.translate(0x100000);  // Refill A.
+    tlb.translate(0x101000);  // Refill B.
+    tlb.translate(0x100010);  // Hit A.
+    tlb.translate(0x102000);  // Refill C, evicts B (LRU).
+    const double hitsBefore = tlb.statsGroup().find("hits")->value();
+    tlb.translate(0x100020);  // Hit A still.
+    EXPECT_EQ(tlb.statsGroup().find("hits")->value(), hitsBefore + 1);
+    // All translations remain correct regardless of the cached set.
+    EXPECT_EQ(tlb.translate(0x101234), 0x501234u);
+    EXPECT_EQ(tlb.translate(0x103456), 0x503456u);
+}
+
+}  // namespace
+}  // namespace g5r

@@ -1,0 +1,264 @@
+// Functional-core execution and validation of the workload kernels against
+// std::sort as the golden reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cpu/functional.hh"
+#include "cpu/workloads.hh"
+#include "sim/rng.hh"
+
+namespace g5r {
+namespace {
+
+using isa::FunctionalCore;
+using isa::Program;
+using isa::StopReason;
+
+void loadProgram(BackingStore& mem, const Program& p, std::uint64_t base) {
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        mem.store<std::uint64_t>(base + i * isa::kInstrBytes, p.code[i]);
+    }
+}
+
+TEST(Functional, ArithmeticLoop) {
+    // Sum 1..10 into a0.
+    const Program p = isa::assemble(R"(
+          li a0, 0
+          li t0, 1
+          li t1, 11
+        loop:
+          add a0, a0, t0
+          addi t0, t0, 1
+          blt t0, t1, loop
+          halt
+    )");
+    BackingStore mem;
+    loadProgram(mem, p, 0);
+    FunctionalCore core{mem, 0};
+    EXPECT_EQ(core.run(), StopReason::kHalted);
+    EXPECT_EQ(core.state().read(10), 55u);
+}
+
+TEST(Functional, LoadsAndStores) {
+    const Program p = isa::assemble(R"(
+          li t0, 0x1000
+          li t1, -1
+          sd t1, 0(t0)
+          lw t2, 0(t0)      ; sign-extended -1
+          lb t3, 0(t0)
+          li t4, 300
+          sb t4, 8(t0)      ; truncated to 44
+          lb t5, 8(t0)
+          halt
+    )");
+    BackingStore mem;
+    loadProgram(mem, p, 0);
+    FunctionalCore core{mem, 0};
+    core.run();
+    EXPECT_EQ(core.state().read(7), static_cast<std::uint64_t>(-1));   // t2
+    EXPECT_EQ(core.state().read(28), static_cast<std::uint64_t>(-1));  // t3
+    EXPECT_EQ(core.state().read(30), 44u);                             // t5
+}
+
+TEST(Functional, CallAndReturn) {
+    const Program p = isa::assemble(R"(
+          li sp, 0x8000
+          li a0, 20
+          call double_it
+          call double_it
+          halt
+        double_it:
+          add a0, a0, a0
+          ret
+    )");
+    BackingStore mem;
+    loadProgram(mem, p, 0);
+    FunctionalCore core{mem, 0};
+    EXPECT_EQ(core.run(), StopReason::kHalted);
+    EXPECT_EQ(core.state().read(10), 80u);
+}
+
+TEST(Functional, SyscallsExitAndPrint) {
+    const Program p = isa::assemble(R"(
+          li a0, 72        ; 'H'
+          li a7, 2
+          ecall
+          li a0, -42
+          li a7, 3
+          ecall
+          li a7, 0
+          ecall
+          halt
+    )");
+    BackingStore mem;
+    loadProgram(mem, p, 0);
+    FunctionalCore core{mem, 0};
+    EXPECT_EQ(core.run(), StopReason::kHalted);
+    EXPECT_EQ(core.consoleOutput(), "H-42");
+}
+
+TEST(Functional, SleepSyscallReportsDuration) {
+    const Program p = isa::assemble(R"(
+          li a0, 5000
+          li a7, 1
+          ecall
+          halt
+    )");
+    BackingStore mem;
+    loadProgram(mem, p, 0);
+    FunctionalCore core{mem, 0};
+    StopReason r = StopReason::kRunning;
+    while (r == StopReason::kRunning) r = core.step();
+    EXPECT_EQ(r, StopReason::kSleeping);
+    EXPECT_EQ(core.lastSleepNs(), 5000u);
+    // Continuing past the sleep reaches the halt.
+    EXPECT_EQ(core.run(), StopReason::kHalted);
+}
+
+TEST(Functional, RunBudgetStopsInfiniteLoops) {
+    const Program p = isa::assemble("spin: j spin\n");
+    BackingStore mem;
+    loadProgram(mem, p, 0);
+    FunctionalCore core{mem, 0};
+    EXPECT_EQ(core.run(1000), StopReason::kMaxInstrs);
+    EXPECT_EQ(core.instructionsRetired(), 1000u);
+}
+
+// --- sorting-kernel validation ---------------------------------------------
+
+class SortKernelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<std::int64_t> runKernel(const std::string& kernelSource,
+                                    const std::string& kernelName,
+                                    std::vector<std::int64_t> data) {
+    const std::uint64_t arrayBase = 0x100000;
+    const std::uint64_t progBase = 0;
+    std::ostringstream driver;
+    driver << "  li sp, 0xF0000\n"
+           << "  li a0, " << arrayBase << "\n"
+           << "  li a1, " << data.size() << "\n"
+           << "  call " << kernelName << "\n"
+           << "  halt\n"
+           << kernelSource;
+    const Program p = isa::assemble(driver.str());
+
+    BackingStore mem;
+    loadProgram(mem, p, progBase);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        mem.store<std::uint64_t>(arrayBase + 8 * i, static_cast<std::uint64_t>(data[i]));
+    }
+    FunctionalCore core{mem, progBase};
+    const StopReason r = core.run(200'000'000);
+    EXPECT_EQ(r, StopReason::kHalted);
+
+    std::vector<std::int64_t> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        out[i] = static_cast<std::int64_t>(mem.load<std::uint64_t>(arrayBase + 8 * i));
+    }
+    return out;
+}
+
+std::vector<std::int64_t> randomData(std::size_t n, std::uint64_t seed) {
+    Rng rng{seed};
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = static_cast<std::int64_t>(rng.below(100000)) - 50000;
+    return v;
+}
+
+TEST_P(SortKernelTest, QuickSortMatchesStdSort) {
+    auto data = randomData(257, GetParam());
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(runKernel(workloads::quickSortFunction(), "quicksort", data), expected);
+}
+
+TEST_P(SortKernelTest, SelectionSortMatchesStdSort) {
+    auto data = randomData(100, GetParam());
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(runKernel(workloads::selectionSortFunction(), "selectionsort", data), expected);
+}
+
+TEST_P(SortKernelTest, BubbleSortMatchesStdSort) {
+    auto data = randomData(100, GetParam());
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(runKernel(workloads::bubbleSortFunction(), "bubblesort", data), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortKernelTest, ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(SortKernels, EdgeCases) {
+    for (const auto& kernel :
+         {std::pair{workloads::quickSortFunction(), std::string{"quicksort"}},
+          std::pair{workloads::selectionSortFunction(), std::string{"selectionsort"}},
+          std::pair{workloads::bubbleSortFunction(), std::string{"bubblesort"}}}) {
+        EXPECT_EQ(runKernel(kernel.first, kernel.second, {}), std::vector<std::int64_t>{});
+        EXPECT_EQ(runKernel(kernel.first, kernel.second, {7}), std::vector<std::int64_t>{7});
+        EXPECT_EQ(runKernel(kernel.first, kernel.second, {2, 1}),
+                  (std::vector<std::int64_t>{1, 2}));
+        EXPECT_EQ(runKernel(kernel.first, kernel.second, {5, 5, 5}),
+                  (std::vector<std::int64_t>{5, 5, 5}));
+        EXPECT_EQ(runKernel(kernel.first, kernel.second, {3, 2, 1, 0, -1}),
+                  (std::vector<std::int64_t>{-1, 0, 1, 2, 3}));
+    }
+}
+
+TEST(SortBenchmark, FullThreePhaseProgramSortsAllArrays) {
+    workloads::SortBenchmarkLayout layout;
+    layout.baseElems = 50;
+    BackingStore mem;
+    workloads::populateSortArrays(mem, layout);
+    const Program p = workloads::sortBenchmarkProgram(layout);
+    loadProgram(mem, p, 0);
+
+    FunctionalCore core{mem, 0};
+    int sleeps = 0;
+    StopReason r = StopReason::kRunning;
+    while (r != StopReason::kHalted) {
+        r = core.step();
+        if (r == StopReason::kSleeping) {
+            ++sleeps;
+            EXPECT_EQ(core.lastSleepNs(), layout.sleepNs);
+        }
+        ASSERT_LT(core.instructionsRetired(), 50'000'000u);
+    }
+    EXPECT_EQ(sleeps, 2);
+    EXPECT_TRUE(workloads::isSorted(mem, layout.quickBase, layout.quickElems()));
+    EXPECT_TRUE(workloads::isSorted(mem, layout.selBase, layout.baseElems));
+    EXPECT_TRUE(workloads::isSorted(mem, layout.bubbleBase, layout.baseElems));
+}
+
+TEST(SortBenchmark, QuickSortIsAsymptoticallyFaster) {
+    // The paper's observation: quicksort handles 10x the elements in less
+    // time. Compare dynamic instruction counts at the same layout.
+    workloads::SortBenchmarkLayout layout;
+    layout.baseElems = 500;  // quick sorts 5000; large enough that the
+                             // quadratic kernels dominate despite 10x data.
+    BackingStore mem;
+    workloads::populateSortArrays(mem, layout);
+    loadProgram(mem, workloads::sortBenchmarkProgram(layout), 0);
+
+    FunctionalCore core{mem, 0};
+    std::vector<std::uint64_t> phaseInstrs;
+    std::uint64_t phaseStart = 0;
+    StopReason r = StopReason::kRunning;
+    while (r != StopReason::kHalted) {
+        r = core.step();
+        if (r == StopReason::kSleeping) {
+            phaseInstrs.push_back(core.instructionsRetired() - phaseStart);
+            phaseStart = core.instructionsRetired();
+        }
+    }
+    phaseInstrs.push_back(core.instructionsRetired() - phaseStart);
+    ASSERT_EQ(phaseInstrs.size(), 3u);
+    // Quicksort on 10x data still needs fewer instructions than either
+    // quadratic kernel on 1x data.
+    EXPECT_LT(phaseInstrs[0], phaseInstrs[1]);
+    EXPECT_LT(phaseInstrs[0], phaseInstrs[2]);
+}
+
+}  // namespace
+}  // namespace g5r

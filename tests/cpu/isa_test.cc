@@ -1,0 +1,201 @@
+// ISA encoding/decoding, assembler syntax, and instruction semantics.
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hh"
+#include "cpu/exec.hh"
+#include "cpu/isa.hh"
+
+namespace g5r::isa {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+    for (unsigned opIdx = 0; opIdx < static_cast<unsigned>(Opcode::kOpcodeCount); ++opIdx) {
+        Instr in;
+        in.op = static_cast<Opcode>(opIdx);
+        in.rd = 7;
+        in.rs1 = 31;
+        in.rs2 = 13;
+        in.imm = -123456;
+        const Instr out = decode(encode(in));
+        EXPECT_EQ(out.op, in.op);
+        EXPECT_EQ(out.rd, in.rd);
+        EXPECT_EQ(out.rs1, in.rs1);
+        EXPECT_EQ(out.rs2, in.rs2);
+        EXPECT_EQ(out.imm, in.imm);
+    }
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+    for (unsigned opIdx = 0; opIdx < static_cast<unsigned>(Opcode::kOpcodeCount); ++opIdx) {
+        const auto op = static_cast<Opcode>(opIdx);
+        EXPECT_EQ(opcodeFromMnemonic(mnemonic(op)), op) << mnemonic(op);
+    }
+    EXPECT_EQ(opcodeFromMnemonic("bogus"), Opcode::kOpcodeCount);
+}
+
+TEST(Isa, Classification) {
+    EXPECT_TRUE(Instr{Opcode::kLd}.isLoad());
+    EXPECT_TRUE(Instr{Opcode::kSd}.isStore());
+    EXPECT_TRUE(Instr{Opcode::kBeq}.isBranch());
+    EXPECT_TRUE(Instr{Opcode::kJal}.isJump());
+    EXPECT_TRUE(Instr{Opcode::kJalr}.isControl());
+    EXPECT_FALSE(Instr{Opcode::kAdd}.isMem());
+    EXPECT_EQ(Instr{Opcode::kLw}.memBytes(), 4u);
+    EXPECT_EQ(Instr{Opcode::kSb}.memBytes(), 1u);
+    EXPECT_FALSE(Instr{Opcode::kSd}.writesRd());
+    EXPECT_FALSE(Instr{Opcode::kBne}.writesRd());
+    EXPECT_TRUE(Instr{Opcode::kJal}.writesRd());
+}
+
+TEST(Exec, AluSemantics) {
+    auto alu = [](Opcode op, std::uint64_t a, std::uint64_t b, std::int32_t imm = 0) {
+        Instr in;
+        in.op = op;
+        in.imm = imm;
+        return aluResult(in, a, b);
+    };
+    EXPECT_EQ(alu(Opcode::kAdd, 2, 3), 5u);
+    EXPECT_EQ(alu(Opcode::kSub, 2, 3), static_cast<std::uint64_t>(-1));
+    EXPECT_EQ(alu(Opcode::kMul, 7, 6), 42u);
+    EXPECT_EQ(alu(Opcode::kDiv, static_cast<std::uint64_t>(-10), 3),
+              static_cast<std::uint64_t>(-3));
+    EXPECT_EQ(alu(Opcode::kDiv, 5, 0), ~std::uint64_t{0});
+    EXPECT_EQ(alu(Opcode::kRem, 7, 3), 1u);
+    EXPECT_EQ(alu(Opcode::kSlt, static_cast<std::uint64_t>(-1), 0), 1u);
+    EXPECT_EQ(alu(Opcode::kSltu, static_cast<std::uint64_t>(-1), 0), 0u);
+    EXPECT_EQ(alu(Opcode::kSra, static_cast<std::uint64_t>(-8), 1),
+              static_cast<std::uint64_t>(-4));
+    EXPECT_EQ(alu(Opcode::kSrl, 8, 1), 4u);
+    EXPECT_EQ(alu(Opcode::kAddi, 10, 0, -3), 7u);
+    EXPECT_EQ(alu(Opcode::kSlli, 1, 0, 12), 4096u);
+    EXPECT_EQ(alu(Opcode::kLui, 0, 0, 5), 5u << 12);
+}
+
+TEST(Exec, BranchSemantics) {
+    auto taken = [](Opcode op, std::uint64_t a, std::uint64_t b) {
+        Instr in;
+        in.op = op;
+        return branchTaken(in, a, b);
+    };
+    EXPECT_TRUE(taken(Opcode::kBeq, 4, 4));
+    EXPECT_FALSE(taken(Opcode::kBeq, 4, 5));
+    EXPECT_TRUE(taken(Opcode::kBlt, static_cast<std::uint64_t>(-2), 1));
+    EXPECT_FALSE(taken(Opcode::kBltu, static_cast<std::uint64_t>(-2), 1));
+    EXPECT_TRUE(taken(Opcode::kBge, 5, 5));
+    EXPECT_TRUE(taken(Opcode::kBgeu, static_cast<std::uint64_t>(-1), 1));
+}
+
+TEST(Exec, LoadExtension) {
+    Instr lb;
+    lb.op = Opcode::kLb;
+    EXPECT_EQ(extendLoad(lb, 0x80), static_cast<std::uint64_t>(-128));
+    Instr lw;
+    lw.op = Opcode::kLw;
+    EXPECT_EQ(extendLoad(lw, 0xFFFFFFFFu), static_cast<std::uint64_t>(-1));
+    Instr ld;
+    ld.op = Opcode::kLd;
+    EXPECT_EQ(extendLoad(ld, 0x123456789ABCDEFull), 0x123456789ABCDEFull);
+}
+
+TEST(Exec, ArchStateZeroRegister) {
+    ArchState s;
+    s.write(0, 99);
+    EXPECT_EQ(s.read(0), 0u);
+    s.write(5, 42);
+    EXPECT_EQ(s.read(5), 42u);
+}
+
+TEST(Assembler, BasicProgram) {
+    const Program p = assemble(R"(
+        start:
+          addi x1, x0, 5     ; five
+          add  x2, x1, x1
+          halt
+    )");
+    ASSERT_EQ(p.code.size(), 3u);
+    const Instr i0 = decode(p.code[0]);
+    EXPECT_EQ(i0.op, Opcode::kAddi);
+    EXPECT_EQ(i0.rd, 1);
+    EXPECT_EQ(i0.imm, 5);
+    EXPECT_EQ(p.offsetOf("start"), 0u);
+}
+
+TEST(Assembler, AbiAliasesAndPseudoOps) {
+    const Program p = assemble(R"(
+          li a0, -7
+          mv t0, a0
+          nop
+          ret
+    )");
+    ASSERT_EQ(p.code.size(), 4u);
+    EXPECT_EQ(decode(p.code[0]).rd, 10);
+    EXPECT_EQ(decode(p.code[0]).imm, -7);
+    EXPECT_EQ(decode(p.code[1]).rd, 5);
+    EXPECT_EQ(decode(p.code[3]).op, Opcode::kJalr);
+    EXPECT_EQ(decode(p.code[3]).rs1, 1);
+}
+
+TEST(Assembler, BranchOffsetsArePcRelative) {
+    const Program p = assemble(R"(
+        top:
+          addi x1, x1, 1
+          beq x1, x2, top
+          j top
+    )");
+    const Instr branch = decode(p.code[1]);
+    EXPECT_EQ(branch.imm, -8);  // One instruction back.
+    const Instr jump = decode(p.code[2]);
+    EXPECT_EQ(jump.op, Opcode::kJal);
+    EXPECT_EQ(jump.imm, -16);
+}
+
+TEST(Assembler, MemoryOperandForms) {
+    const Program p = assemble(R"(
+          ld x1, 16(x2)
+          sd x3, -8(sp)
+          lw x4, (x5)
+    )");
+    const Instr load = decode(p.code[0]);
+    EXPECT_EQ(load.imm, 16);
+    EXPECT_EQ(load.rs1, 2);
+    const Instr store = decode(p.code[1]);
+    EXPECT_EQ(store.rs2, 3);
+    EXPECT_EQ(store.rs1, 2);
+    EXPECT_EQ(store.imm, -8);
+    EXPECT_EQ(decode(p.code[2]).imm, 0);
+}
+
+TEST(Assembler, HexImmediates) {
+    const Program p = assemble("li x1, 0x1000\nli x2, -0x10\n");
+    EXPECT_EQ(decode(p.code[0]).imm, 0x1000);
+    EXPECT_EQ(decode(p.code[1]).imm, -16);
+}
+
+TEST(Assembler, ErrorsAreReportedWithLineNumbers) {
+    EXPECT_THROW(assemble("frobnicate x1, x2\n"), AsmError);
+    EXPECT_THROW(assemble("add x1, x2\n"), AsmError);   // Missing operand.
+    EXPECT_THROW(assemble("ld x1, x2\n"), AsmError);    // Not imm(reg) form.
+    EXPECT_THROW(assemble("beq x1, x2, nowhere\n"), AsmError);
+    EXPECT_THROW(assemble("dup:\ndup:\n  nop\n"), AsmError);
+    EXPECT_THROW(assemble("add x1, x2, x99\n"), AsmError);
+    try {
+        assemble("nop\nbogus\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError& e) {
+        EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Assembler, DisassemblerProducesReadableText) {
+    Instr in;
+    in.op = Opcode::kAddi;
+    in.rd = 1;
+    in.rs1 = 2;
+    in.imm = 42;
+    EXPECT_EQ(disassemble(in), "addi x1, x2, x0, 42");
+    in.op = Opcode::kLd;
+    EXPECT_EQ(disassemble(in), "ld x1, 42(x2)");
+}
+
+}  // namespace
+}  // namespace g5r::isa

@@ -1,0 +1,59 @@
+// Sparse backing-store semantics: zero-fill, page granularity, packet access.
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace g5r {
+namespace {
+
+TEST(BackingStore, ReadsOfUntouchedMemoryAreZero) {
+    BackingStore store;
+    EXPECT_EQ(store.load<std::uint64_t>(0x123456789ULL), 0u);
+    EXPECT_EQ(store.allocatedPages(), 0u);
+}
+
+TEST(BackingStore, RoundTripTypedAccess) {
+    BackingStore store;
+    store.store<std::uint32_t>(0x1000, 0xA5A5A5A5u);
+    EXPECT_EQ(store.load<std::uint32_t>(0x1000), 0xA5A5A5A5u);
+    EXPECT_EQ(store.allocatedPages(), 1u);
+}
+
+TEST(BackingStore, CrossPageAccess) {
+    BackingStore store;
+    const Addr addr = BackingStore::kPageSize - 4;  // Straddles two pages.
+    store.store<std::uint64_t>(addr, 0x1122334455667788ULL);
+    EXPECT_EQ(store.load<std::uint64_t>(addr), 0x1122334455667788ULL);
+    EXPECT_EQ(store.allocatedPages(), 2u);
+}
+
+TEST(BackingStore, SparseAllocation) {
+    BackingStore store;
+    store.store<std::uint8_t>(0, 1);
+    store.store<std::uint8_t>(1ULL << 40, 2);  // 1 TiB away.
+    EXPECT_EQ(store.allocatedPages(), 2u);
+    EXPECT_EQ(store.load<std::uint8_t>(0), 1);
+    EXPECT_EQ(store.load<std::uint8_t>(1ULL << 40), 2);
+}
+
+TEST(BackingStore, PacketAccessReadAndWrite) {
+    BackingStore store;
+    Packet write{MemCmd::kWriteReq, 0x2000, 8};
+    write.set<std::uint64_t>(77);
+    store.access(write);
+
+    Packet read{MemCmd::kReadReq, 0x2000, 8};
+    store.access(read);
+    EXPECT_EQ(read.get<std::uint64_t>(), 77u);
+}
+
+TEST(BackingStore, WritebackPacketsUpdateStore) {
+    BackingStore store;
+    Packet wb{MemCmd::kWritebackDirty, 0x3000, 8};
+    wb.set<std::uint64_t>(99);
+    store.access(wb);
+    EXPECT_EQ(store.load<std::uint64_t>(0x3000), 99u);
+}
+
+}  // namespace
+}  // namespace g5r

@@ -1,0 +1,152 @@
+// RTL kernel: two-phase register semantics, hierarchy, reset, VCD output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rtl/kernel.hh"
+#include "rtl/vcd.hh"
+
+namespace g5r::rtl {
+namespace {
+
+// A 4-bit counter with enable and wrap.
+class Counter final : public Module {
+public:
+    explicit Counter(Module* parent = nullptr)
+        : Module("counter", parent), count(*this, "count", 4), enable(false) {}
+
+    void evalComb() override {
+        if (enable) count.setD((count.q() + 1) & 0xF);
+    }
+
+    Reg<std::uint8_t> count;
+    bool enable;
+};
+
+TEST(RtlKernel, RegisterLatchesOnTickOnly) {
+    Counter c;
+    c.enable = true;
+    EXPECT_EQ(c.count.q(), 0);
+    c.evalComb();           // Combinational evaluation alone...
+    EXPECT_EQ(c.count.q(), 0);  // ...does not change q.
+    c.tick();
+    EXPECT_EQ(c.count.q(), 1);
+    for (int i = 0; i < 14; ++i) c.tick();
+    EXPECT_EQ(c.count.q(), 15);
+    c.tick();
+    EXPECT_EQ(c.count.q(), 0);  // 4-bit wrap.
+}
+
+TEST(RtlKernel, HoldByDefault) {
+    Counter c;
+    c.enable = false;  // evalComb writes nothing: register must hold.
+    c.tick();
+    c.tick();
+    EXPECT_EQ(c.count.q(), 0);
+    c.enable = true;
+    c.tick();
+    EXPECT_EQ(c.count.q(), 1);
+    c.enable = false;
+    c.tick();
+    EXPECT_EQ(c.count.q(), 1);
+}
+
+TEST(RtlKernel, ResetRestoresInitialValues) {
+    Counter c;
+    c.enable = true;
+    for (int i = 0; i < 5; ++i) c.tick();
+    EXPECT_EQ(c.count.q(), 5);
+    c.reset();
+    EXPECT_EQ(c.count.q(), 0);
+}
+
+// Two-phase correctness: a swap circuit (a <- b, b <- a simultaneously)
+// only works with proper flip-flop semantics.
+class Swapper final : public Module {
+public:
+    Swapper() : Module("swapper"), a(*this, "a", 8, 1), b(*this, "b", 8, 2) {}
+    void evalComb() override {
+        a.setD(b.q());
+        b.setD(a.q());
+    }
+    Reg<std::uint8_t> a, b;
+};
+
+TEST(RtlKernel, SimultaneousSwapIsRaceFree) {
+    Swapper s;
+    s.tick();
+    EXPECT_EQ(s.a.q(), 2);
+    EXPECT_EQ(s.b.q(), 1);
+    s.tick();
+    EXPECT_EQ(s.a.q(), 1);
+    EXPECT_EQ(s.b.q(), 2);
+}
+
+// Hierarchy: parent tick drives children.
+class Pair final : public Module {
+public:
+    Pair() : Module("pair"), c0(this), c1(this) {}
+    Counter c0, c1;
+};
+
+TEST(RtlKernel, HierarchyTicksChildren) {
+    Pair p;
+    p.c0.enable = true;
+    p.c1.enable = true;
+    p.tick();
+    p.tick();
+    EXPECT_EQ(p.c0.count.q(), 2);
+    EXPECT_EQ(p.c1.count.q(), 2);
+    p.reset();
+    EXPECT_EQ(p.c0.count.q(), 0);
+}
+
+TEST(RtlVcd, ProducesParsableWaveform) {
+    const std::string path = ::testing::TempDir() + "/counter.vcd";
+    Counter c;
+    c.enable = true;
+    {
+        VcdWriter vcd{path, c};
+        ASSERT_TRUE(vcd.ok());
+        for (std::uint64_t cycle = 0; cycle < 20; ++cycle) {
+            c.tick();
+            vcd.dumpCycle(cycle);
+        }
+        EXPECT_GT(vcd.bytesWritten(), 0u);
+    }
+    std::ifstream in{path};
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string text = content.str();
+    EXPECT_NE(text.find("$timescale"), std::string::npos);
+    EXPECT_NE(text.find("$var reg 4"), std::string::npos);
+    EXPECT_NE(text.find("count"), std::string::npos);
+    EXPECT_NE(text.find("#0"), std::string::npos);
+    EXPECT_NE(text.find("#19"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(RtlVcd, DisableStopsOutput) {
+    const std::string path = ::testing::TempDir() + "/disabled.vcd";
+    Counter c;
+    c.enable = true;
+    VcdWriter vcd{path, c};
+    vcd.dumpCycle(0);
+    const auto bytesAfterOne = vcd.bytesWritten();
+    vcd.setEnabled(false);
+    for (std::uint64_t cycle = 1; cycle < 100; ++cycle) {
+        c.tick();
+        vcd.dumpCycle(cycle);
+    }
+    EXPECT_EQ(vcd.bytesWritten(), bytesAfterOne);
+    vcd.setEnabled(true);
+    c.tick();
+    vcd.dumpCycle(100);
+    EXPECT_GT(vcd.bytesWritten(), bytesAfterOne);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace g5r::rtl

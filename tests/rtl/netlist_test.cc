@@ -1,0 +1,146 @@
+// Netlist interpreter (the GHDL-path substitute): parsing, evaluation,
+// sequential elements, error detection, and the generated bitonic sorter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rtl/netlist.hh"
+#include "sim/rng.hh"
+
+namespace g5r::rtl {
+namespace {
+
+TEST(Netlist, CombinationalGates) {
+    Netlist nl{R"(
+        input a
+        input b
+        and y_and a b
+        or  y_or  a b
+        xor y_xor a b
+        not y_not a
+        add y_add a b
+        sub y_sub a b
+        output o_and y_and
+        output o_add y_add
+        output o_sub y_sub
+        output o_not y_not
+    )"};
+    nl.setInput("a", 0xF0);
+    nl.setInput("b", 0x0F);
+    nl.eval();
+    EXPECT_EQ(nl.output("o_and"), 0u);
+    EXPECT_EQ(nl.probe("y_or"), 0xFFu);
+    EXPECT_EQ(nl.probe("y_xor"), 0xFFu);
+    EXPECT_EQ(nl.output("o_add"), 0xFFu);
+    EXPECT_EQ(nl.output("o_sub"), 0xE1u);
+    EXPECT_EQ(nl.output("o_not"), ~std::uint64_t{0xF0});
+}
+
+TEST(Netlist, ComparisonsAndMux) {
+    Netlist nl{R"(
+        input a
+        input b
+        lt  s  a b      # signed
+        ltu u  a b      # unsigned
+        eq  e  a b
+        mux m  s a b    # min(a, b) signed
+        output min m
+    )"};
+    nl.setInput("a", static_cast<std::uint64_t>(-5));
+    nl.setInput("b", 3);
+    nl.eval();
+    EXPECT_EQ(nl.probe("s"), 1u);   // -5 < 3 signed
+    EXPECT_EQ(nl.probe("u"), 0u);   // huge unsigned > 3
+    EXPECT_EQ(nl.probe("e"), 0u);
+    EXPECT_EQ(nl.output("min"), static_cast<std::uint64_t>(-5));
+}
+
+TEST(Netlist, RegistersLatchOnTick) {
+    // Accumulator: acc <= acc + in.
+    Netlist nl{R"(
+        input in
+        add next acc in
+        reg acc next 0
+        output sum acc
+    )"};
+    nl.setInput("in", 5);
+    nl.eval();
+    EXPECT_EQ(nl.output("sum"), 0u);  // eval alone does not latch
+    nl.tick();
+    EXPECT_EQ(nl.probe("acc"), 5u);
+    nl.tick();
+    nl.tick();
+    nl.eval();
+    EXPECT_EQ(nl.output("sum"), 15u);
+    nl.reset();
+    nl.eval();
+    EXPECT_EQ(nl.output("sum"), 0u);
+}
+
+TEST(Netlist, RegInitValues) {
+    Netlist nl{R"(
+        const zero 0
+        reg r zero 42
+        output o r
+    )"};
+    nl.eval();
+    EXPECT_EQ(nl.output("o"), 42u);
+    nl.tick();
+    nl.eval();
+    EXPECT_EQ(nl.output("o"), 0u);
+}
+
+TEST(Netlist, ErrorDetection) {
+    EXPECT_THROW(Netlist{"bogus x a b\n"}, NetlistError);
+    EXPECT_THROW(Netlist{"and y a b\n"}, NetlistError);           // Undefined nets.
+    EXPECT_THROW(Netlist{"input a\ninput a\n"}, NetlistError);    // Duplicate.
+    EXPECT_THROW(Netlist{"output o nowhere\n"}, NetlistError);
+    // Combinational cycle: a = not b, b = not a.
+    EXPECT_THROW(Netlist{"not a b\nnot b a\n"}, NetlistError);
+    // Sequential loop through a reg is legal.
+    EXPECT_NO_THROW(Netlist{"reg r inv 0\nnot inv r\n"});
+}
+
+TEST(Netlist, FourInputBitonicSortsAllPermutations) {
+    Netlist nl{bitonicSorterNetlist(4)};
+    std::vector<std::uint64_t> values{3, 1, 4, 2};
+    std::sort(values.begin(), values.end());
+    std::vector<std::uint64_t> perm = values;
+    do {
+        for (unsigned i = 0; i < 4; ++i) nl.setInput("in" + std::to_string(i), perm[i]);
+        nl.eval();
+        for (unsigned i = 0; i < 4; ++i) {
+            EXPECT_EQ(nl.output("out" + std::to_string(i)), values[i]);
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+class BitonicSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitonicSweep, SortsRandomVectors) {
+    const unsigned n = GetParam();
+    Netlist nl{bitonicSorterNetlist(n)};
+    Rng rng{n * 7919};
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::int64_t> data(n);
+        for (auto& v : data) {
+            v = static_cast<std::int64_t>(rng.below(2000)) - 1000;  // Signed values.
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            nl.setInput("in" + std::to_string(i), static_cast<std::uint64_t>(data[i]));
+        }
+        nl.eval();
+        std::sort(data.begin(), data.end());
+        for (unsigned i = 0; i < n; ++i) {
+            EXPECT_EQ(static_cast<std::int64_t>(nl.output("out" + std::to_string(i))),
+                      data[i])
+                << "n=" << n << " trial=" << trial << " lane=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSweep, ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace g5r::rtl

@@ -1,0 +1,51 @@
+// ClockedObject cycle/tick arithmetic across clock domains.
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+#include "sim/simulation.hh"
+
+namespace g5r {
+namespace {
+
+TEST(Ticks, FrequencyConversions) {
+    EXPECT_EQ(periodFromGHz(1), 1000u);
+    EXPECT_EQ(periodFromGHz(2), 500u);
+    EXPECT_EQ(periodFromMHz(500), 2000u);
+    EXPECT_EQ(nsToTicks(1.5), 1500u);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerSecond), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(2'000'000'000ULL), 2.0);
+}
+
+TEST(Clocked, EdgeAlignment) {
+    Simulation sim;
+    ClockedObject obj{sim, "clk", periodFromGHz(1)};  // 1000-tick period
+
+    // At tick 0, the "next edge" is tick 0 itself.
+    EXPECT_EQ(obj.clockEdge(), 0u);
+    EXPECT_EQ(obj.clockEdge(3), 3000u);
+
+    // Advance mid-cycle and check rounding up to the next edge.
+    CallbackEvent ev{[] {}, "advance"};
+    sim.eventQueue().schedule(ev, 1500);
+    sim.run();
+    EXPECT_EQ(sim.curTick(), 1500u);
+    EXPECT_EQ(obj.curCycle(), 1u);
+    EXPECT_EQ(obj.clockEdge(), 2000u);
+    EXPECT_EQ(obj.clockEdge(2), 4000u);
+    EXPECT_EQ(obj.cyclesToTicks(5), 5000u);
+    EXPECT_EQ(obj.ticksToCycles(2500), 3u);
+}
+
+TEST(Clocked, DifferentDomainsDisagreeOnCycles) {
+    Simulation sim;
+    ClockedObject fast{sim, "fast", periodFromGHz(2)};
+    ClockedObject slow{sim, "slow", periodFromGHz(1)};
+    CallbackEvent ev{[] {}, "advance"};
+    sim.eventQueue().schedule(ev, 10'000);
+    sim.run();
+    EXPECT_EQ(fast.curCycle(), 20u);
+    EXPECT_EQ(slow.curCycle(), 10u);
+}
+
+}  // namespace
+}  // namespace g5r

@@ -1,0 +1,175 @@
+// Event-queue semantics: ordering, determinism, (de|re)scheduling, and the
+// simulation driver's exit conditions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace g5r {
+namespace {
+
+TEST(EventQueue, ProcessesInTickOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    CallbackEvent a{[&] { order.push_back(1); }, "a"};
+    CallbackEvent b{[&] { order.push_back(2); }, "b"};
+    CallbackEvent c{[&] { order.push_back(3); }, "c"};
+
+    q.schedule(c, 300);
+    q.schedule(a, 100);
+    q.schedule(b, 200);
+
+    while (!q.empty()) q.serviceOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 300u);
+    EXPECT_EQ(q.numProcessed(), 3u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion) {
+    EventQueue q;
+    std::vector<int> order;
+    CallbackEvent later{[&] { order.push_back(3); }, "later", EventPriority::kSimExit};
+    CallbackEvent first{[&] { order.push_back(1); }, "first", EventPriority::kStatDump};
+    CallbackEvent mid1{[&] { order.push_back(2); }, "mid1"};
+    CallbackEvent mid2{[&] { order.push_back(20); }, "mid2"};
+
+    q.schedule(later, 50);
+    q.schedule(mid1, 50);
+    q.schedule(mid2, 50);
+    q.schedule(first, 50);
+
+    while (!q.empty()) q.serviceOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 20, 3}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent) {
+    EventQueue q;
+    int fired = 0;
+    CallbackEvent ev{[&] { ++fired; }, "ev"};
+    q.schedule(ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    q.deschedule(ev);
+    EXPECT_FALSE(ev.scheduled());
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, RescheduleMovesEvent) {
+    EventQueue q;
+    std::vector<Tick> firedAt;
+    CallbackEvent marker{[&] { firedAt.push_back(q.curTick()); }, "marker"};
+    CallbackEvent other{[] {}, "other"};
+
+    q.schedule(marker, 10);
+    q.schedule(other, 5);
+    q.reschedule(marker, 42);
+
+    while (!q.empty()) q.serviceOne();
+    ASSERT_EQ(firedAt.size(), 1u);
+    EXPECT_EQ(firedAt[0], 42u);
+}
+
+TEST(EventQueue, EventCanRescheduleItself) {
+    EventQueue q;
+    int count = 0;
+    CallbackEvent* selfPtr = nullptr;
+    CallbackEvent self{
+        [&] {
+            if (++count < 5) q.schedule(*selfPtr, q.curTick() + 7);
+        },
+        "self"};
+    selfPtr = &self;
+    q.schedule(self, 0);
+    while (!q.empty()) q.serviceOne();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.curTick(), 28u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+    EventQueue q;
+    Tick last = 0;
+    bool monotone = true;
+    std::vector<std::unique_ptr<CallbackEvent>> events;
+    events.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+        events.push_back(std::make_unique<CallbackEvent>(
+            [&] {
+                if (q.curTick() < last) monotone = false;
+                last = q.curTick();
+            },
+            "stress"));
+    }
+    // Pseudo-random ticks with collisions.
+    std::uint64_t x = 12345;
+    for (auto& ev : events) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        q.schedule(*ev, (x >> 33) % 500);
+    }
+    while (!q.empty()) q.serviceOne();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(q.numProcessed(), 1000u);
+}
+
+TEST(Simulation, RunsUntilQueueEmpty) {
+    Simulation sim;
+    int fired = 0;
+    CallbackEvent ev{[&] { ++fired; }, "ev"};
+    sim.eventQueue().schedule(ev, 1000);
+    const RunResult result = sim.run();
+    EXPECT_EQ(result.cause, ExitCause::kQueueEmpty);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, HonorsMaxTick) {
+    Simulation sim;
+    int fired = 0;
+    CallbackEvent ev{[&] { ++fired; }, "ev"};
+    sim.eventQueue().schedule(ev, 1000);
+    const RunResult result = sim.run(500);
+    EXPECT_EQ(result.cause, ExitCause::kMaxTickReached);
+    EXPECT_EQ(fired, 0);
+    // The event is still pending and fires on a later run.
+    sim.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, ExitSimLoopStopsImmediately) {
+    Simulation sim;
+    int fired = 0;
+    CallbackEvent stop{[&] { sim.exitSimLoop("done"); }, "stop"};
+    CallbackEvent after{[&] { ++fired; }, "after"};
+    sim.eventQueue().schedule(stop, 10);
+    sim.eventQueue().schedule(after, 20);
+    const RunResult result = sim.run();
+    EXPECT_EQ(result.cause, ExitCause::kSimExit);
+    EXPECT_EQ(result.message, "done");
+    EXPECT_EQ(result.tick, 10u);
+    EXPECT_EQ(fired, 0);
+}
+
+class CountingObject final : public SimObject {
+public:
+    using SimObject::SimObject;
+    void init() override { ++inits; }
+    void startup() override { ++startups; }
+    int inits = 0;
+    int startups = 0;
+};
+
+TEST(Simulation, LifecycleHooksRunExactlyOnce) {
+    Simulation sim;
+    CountingObject obj{sim, "obj"};
+    CallbackEvent ev{[] {}, "noop"};
+    sim.eventQueue().schedule(ev, 1);
+    sim.run();
+    sim.run();
+    EXPECT_EQ(obj.inits, 1);
+    EXPECT_EQ(obj.startups, 1);
+}
+
+}  // namespace
+}  // namespace g5r

@@ -1,0 +1,98 @@
+// Odds and ends: deterministic RNG, stats dumping from a whole simulation,
+// the hardware event bus, and kernel invariant enforcement (death tests).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/hw_events.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace g5r {
+namespace {
+
+TEST(Rng, DeterministicAndWellSpread) {
+    Rng a{42}, b{42}, c{43};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    // Different seeds diverge immediately.
+    Rng a2{42};
+    EXPECT_NE(a2.next(), c.next());
+
+    // below() respects its bound; uniform() stays in [0,1).
+    Rng r{7};
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const auto v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(HwEventBus, AccumulatesAndDrains) {
+    HwEventBus bus;
+    bus.pulse(HwEventBus::kCommit0);
+    bus.pulse(HwEventBus::kCommit0, 3);
+    bus.pulse(HwEventBus::kL1dMiss);
+    bus.pulse(99);  // Out of range: ignored.
+    EXPECT_EQ(bus.peek()[HwEventBus::kCommit0], 4u);
+    const auto drained = bus.drain();
+    EXPECT_EQ(drained[HwEventBus::kCommit0], 4u);
+    EXPECT_EQ(drained[HwEventBus::kL1dMiss], 1u);
+    EXPECT_EQ(bus.peek()[HwEventBus::kCommit0], 0u);
+}
+
+TEST(Simulation, DumpStatsListsEveryObject) {
+    Simulation sim;
+    SimObject a{sim, "sys.alpha"};
+    SimObject b{sim, "sys.beta"};
+    a.statsGroup().scalar("x", "an x") += 5;
+    b.statsGroup().scalar("y", "a y") += 7;
+    std::ostringstream os;
+    sim.dumpStats(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sys.alpha.x"), std::string::npos);
+    EXPECT_NE(out.find("sys.beta.y"), std::string::npos);
+}
+
+using EventQueueDeath = ::testing::Test;
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics) {
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    const auto scheduleIntoPast = [] {
+        EventQueue q;
+        CallbackEvent later{[] {}, "later"};
+        CallbackEvent now{[&] { q.schedule(later, 5); }, "now"};
+        q.schedule(now, 100);
+        q.serviceOne();
+    };
+    EXPECT_DEATH(scheduleIntoPast(), "into the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics) {
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    const auto doubleSchedule = [] {
+        EventQueue q;
+        CallbackEvent ev{[] {}, "ev"};
+        q.schedule(ev, 10);
+        q.schedule(ev, 20);
+    };
+    EXPECT_DEATH(doubleSchedule(), "already-scheduled");
+}
+
+TEST(EventQueueDeath, DescheduleIdleEventPanics) {
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    const auto descheduleIdle = [] {
+        EventQueue q;
+        CallbackEvent ev{[] {}, "ev"};
+        q.deschedule(ev);
+    };
+    EXPECT_DEATH(descheduleIdle(), "idle event");
+}
+
+}  // namespace
+}  // namespace g5r

@@ -1,0 +1,94 @@
+// Statistics framework: scalars, formulas, distributions, lookup and dumps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace g5r {
+namespace {
+
+TEST(Stats, ScalarAccumulates) {
+    stats::Group g{"grp"};
+    auto& s = g.scalar("count", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.5;
+    s.inc();
+    EXPECT_DOUBLE_EQ(s.value(), 6.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily) {
+    stats::Group g{"grp"};
+    auto& insts = g.scalar("insts", "instructions");
+    auto& cycles = g.scalar("cycles", "cycles");
+    auto& ipc = g.formula("ipc", "instructions per cycle", [&] {
+        return cycles.value() > 0 ? insts.value() / cycles.value() : 0.0;
+    });
+    EXPECT_EQ(ipc.value(), 0.0);
+    insts += 30;
+    cycles += 10;
+    EXPECT_DOUBLE_EQ(ipc.value(), 3.0);
+    insts += 10;
+    EXPECT_DOUBLE_EQ(ipc.value(), 4.0);
+}
+
+TEST(Stats, DistributionTracksMoments) {
+    stats::Group g{"grp"};
+    auto& d = g.distribution("lat", "latency");
+    for (const double v : {1.0, 2.0, 3.0, 4.0}) d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 4.0);
+    EXPECT_NEAR(d.variance(), 1.25, 1e-12);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Stats, GroupFindQualifiesNames) {
+    stats::Group g{"cpu0"};
+    auto& s = g.scalar("commits", "committed");
+    s += 7;
+    const stats::Stat* found = g.find("commits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name(), "cpu0.commits");
+    EXPECT_DOUBLE_EQ(found->value(), 7.0);
+    EXPECT_EQ(g.find("nope"), nullptr);
+}
+
+TEST(Stats, SimulationWideLookup) {
+    Simulation sim;
+    SimObject a{sim, "sys.cpu0"};
+    SimObject b{sim, "sys.cpu1"};
+    a.statsGroup().scalar("commits", "x") += 11;
+    b.statsGroup().scalar("commits", "x") += 22;
+
+    const auto* s0 = sim.findStat("sys.cpu0.commits");
+    const auto* s1 = sim.findStat("sys.cpu1.commits");
+    ASSERT_NE(s0, nullptr);
+    ASSERT_NE(s1, nullptr);
+    EXPECT_DOUBLE_EQ(s0->value(), 11.0);
+    EXPECT_DOUBLE_EQ(s1->value(), 22.0);
+    EXPECT_EQ(sim.findStat("sys.cpu2.commits"), nullptr);
+    EXPECT_EQ(sim.findStat("sys.cpu0"), nullptr);
+}
+
+TEST(Stats, DumpContainsNamesAndValues) {
+    stats::Group g{"mem"};
+    g.scalar("reads", "read count") += 3;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("mem.reads"), std::string::npos);
+    EXPECT_NE(out.find("3"), std::string::npos);
+    EXPECT_NE(out.find("read count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g5r
