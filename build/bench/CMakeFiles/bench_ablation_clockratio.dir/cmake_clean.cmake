@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clockratio.dir/bench_ablation_clockratio.cpp.o"
+  "CMakeFiles/bench_ablation_clockratio.dir/bench_ablation_clockratio.cpp.o.d"
+  "bench_ablation_clockratio"
+  "bench_ablation_clockratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clockratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coremodel.dir/bench_ablation_coremodel.cpp.o"
+  "CMakeFiles/bench_ablation_coremodel.dir/bench_ablation_coremodel.cpp.o.d"
+  "bench_ablation_coremodel"
+  "bench_ablation_coremodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coremodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefetcher.dir/bench_ablation_prefetcher.cpp.o"
+  "CMakeFiles/bench_ablation_prefetcher.dir/bench_ablation_prefetcher.cpp.o.d"
+  "bench_ablation_prefetcher"
+  "bench_ablation_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

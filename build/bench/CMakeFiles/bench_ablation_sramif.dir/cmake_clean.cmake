@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sramif.dir/bench_ablation_sramif.cpp.o"
+  "CMakeFiles/bench_ablation_sramif.dir/bench_ablation_sramif.cpp.o.d"
+  "bench_ablation_sramif"
+  "bench_ablation_sramif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sramif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

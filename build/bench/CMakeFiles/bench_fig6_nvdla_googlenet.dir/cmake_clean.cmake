@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_nvdla_googlenet.dir/bench_fig6_nvdla_googlenet.cpp.o"
+  "CMakeFiles/bench_fig6_nvdla_googlenet.dir/bench_fig6_nvdla_googlenet.cpp.o.d"
+  "bench_fig6_nvdla_googlenet"
+  "bench_fig6_nvdla_googlenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nvdla_googlenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

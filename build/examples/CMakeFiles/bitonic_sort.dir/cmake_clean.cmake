@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitonic_sort.dir/bitonic_sort.cpp.o"
+  "CMakeFiles/bitonic_sort.dir/bitonic_sort.cpp.o.d"
+  "bitonic_sort"
+  "bitonic_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitonic_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

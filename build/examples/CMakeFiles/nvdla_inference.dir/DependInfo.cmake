@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nvdla_inference.cpp" "examples/CMakeFiles/nvdla_inference.dir/nvdla_inference.cpp.o" "gcc" "examples/CMakeFiles/nvdla_inference.dir/nvdla_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bitonic_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdla_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdla_inference.dir/nvdla_inference.cpp.o"
+  "CMakeFiles/nvdla_inference.dir/nvdla_inference.cpp.o.d"
+  "nvdla_inference"
+  "nvdla_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdla_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_monitor.dir/pmu_monitor.cpp.o"
+  "CMakeFiles/pmu_monitor.dir/pmu_monitor.cpp.o.d"
+  "pmu_monitor"
+  "pmu_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bitonic/bitonic_api.cc" "src/CMakeFiles/bitonic_model.dir/models/bitonic/bitonic_api.cc.o" "gcc" "src/CMakeFiles/bitonic_model.dir/models/bitonic/bitonic_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

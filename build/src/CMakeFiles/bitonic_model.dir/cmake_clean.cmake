@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitonic_model.dir/models/bitonic/bitonic_api.cc.o"
+  "CMakeFiles/bitonic_model.dir/models/bitonic/bitonic_api.cc.o.d"
+  "libbitonic_model.a"
+  "libbitonic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitonic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

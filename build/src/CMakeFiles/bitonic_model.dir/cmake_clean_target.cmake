@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbitonic_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../models/libbitonic_rtl.pdb"
+  "../models/libbitonic_rtl.so"
+  "CMakeFiles/bitonic_rtl.dir/models/shim.cc.o"
+  "CMakeFiles/bitonic_rtl.dir/models/shim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitonic_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5r_bridge.dir/bridge/rtl_model.cc.o"
+  "CMakeFiles/g5r_bridge.dir/bridge/rtl_model.cc.o.d"
+  "CMakeFiles/g5r_bridge.dir/bridge/rtl_object.cc.o"
+  "CMakeFiles/g5r_bridge.dir/bridge/rtl_object.cc.o.d"
+  "libg5r_bridge.a"
+  "libg5r_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5r_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libg5r_bridge.a"
+)

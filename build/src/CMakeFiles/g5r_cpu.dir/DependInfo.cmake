@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/assembler.cc" "src/CMakeFiles/g5r_cpu.dir/cpu/assembler.cc.o" "gcc" "src/CMakeFiles/g5r_cpu.dir/cpu/assembler.cc.o.d"
+  "/root/repo/src/cpu/functional.cc" "src/CMakeFiles/g5r_cpu.dir/cpu/functional.cc.o" "gcc" "src/CMakeFiles/g5r_cpu.dir/cpu/functional.cc.o.d"
+  "/root/repo/src/cpu/isa.cc" "src/CMakeFiles/g5r_cpu.dir/cpu/isa.cc.o" "gcc" "src/CMakeFiles/g5r_cpu.dir/cpu/isa.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/g5r_cpu.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/g5r_cpu.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/simple_core.cc" "src/CMakeFiles/g5r_cpu.dir/cpu/simple_core.cc.o" "gcc" "src/CMakeFiles/g5r_cpu.dir/cpu/simple_core.cc.o.d"
+  "/root/repo/src/cpu/workloads.cc" "src/CMakeFiles/g5r_cpu.dir/cpu/workloads.cc.o" "gcc" "src/CMakeFiles/g5r_cpu.dir/cpu/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

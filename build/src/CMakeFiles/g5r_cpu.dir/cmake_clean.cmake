@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5r_cpu.dir/cpu/assembler.cc.o"
+  "CMakeFiles/g5r_cpu.dir/cpu/assembler.cc.o.d"
+  "CMakeFiles/g5r_cpu.dir/cpu/functional.cc.o"
+  "CMakeFiles/g5r_cpu.dir/cpu/functional.cc.o.d"
+  "CMakeFiles/g5r_cpu.dir/cpu/isa.cc.o"
+  "CMakeFiles/g5r_cpu.dir/cpu/isa.cc.o.d"
+  "CMakeFiles/g5r_cpu.dir/cpu/ooo_core.cc.o"
+  "CMakeFiles/g5r_cpu.dir/cpu/ooo_core.cc.o.d"
+  "CMakeFiles/g5r_cpu.dir/cpu/simple_core.cc.o"
+  "CMakeFiles/g5r_cpu.dir/cpu/simple_core.cc.o.d"
+  "CMakeFiles/g5r_cpu.dir/cpu/workloads.cc.o"
+  "CMakeFiles/g5r_cpu.dir/cpu/workloads.cc.o.d"
+  "libg5r_cpu.a"
+  "libg5r_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5r_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache/cache.cc" "src/CMakeFiles/g5r_mem.dir/mem/cache/cache.cc.o" "gcc" "src/CMakeFiles/g5r_mem.dir/mem/cache/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/g5r_mem.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/g5r_mem.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/packet.cc" "src/CMakeFiles/g5r_mem.dir/mem/packet.cc.o" "gcc" "src/CMakeFiles/g5r_mem.dir/mem/packet.cc.o.d"
+  "/root/repo/src/mem/simple_mem.cc" "src/CMakeFiles/g5r_mem.dir/mem/simple_mem.cc.o" "gcc" "src/CMakeFiles/g5r_mem.dir/mem/simple_mem.cc.o.d"
+  "/root/repo/src/mem/xbar.cc" "src/CMakeFiles/g5r_mem.dir/mem/xbar.cc.o" "gcc" "src/CMakeFiles/g5r_mem.dir/mem/xbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

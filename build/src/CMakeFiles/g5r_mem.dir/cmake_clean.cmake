@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5r_mem.dir/mem/cache/cache.cc.o"
+  "CMakeFiles/g5r_mem.dir/mem/cache/cache.cc.o.d"
+  "CMakeFiles/g5r_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/g5r_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/g5r_mem.dir/mem/packet.cc.o"
+  "CMakeFiles/g5r_mem.dir/mem/packet.cc.o.d"
+  "CMakeFiles/g5r_mem.dir/mem/simple_mem.cc.o"
+  "CMakeFiles/g5r_mem.dir/mem/simple_mem.cc.o.d"
+  "CMakeFiles/g5r_mem.dir/mem/xbar.cc.o"
+  "CMakeFiles/g5r_mem.dir/mem/xbar.cc.o.d"
+  "libg5r_mem.a"
+  "libg5r_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5r_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/kernel.cc" "src/CMakeFiles/g5r_rtl.dir/rtl/kernel.cc.o" "gcc" "src/CMakeFiles/g5r_rtl.dir/rtl/kernel.cc.o.d"
+  "/root/repo/src/rtl/netlist.cc" "src/CMakeFiles/g5r_rtl.dir/rtl/netlist.cc.o" "gcc" "src/CMakeFiles/g5r_rtl.dir/rtl/netlist.cc.o.d"
+  "/root/repo/src/rtl/vcd.cc" "src/CMakeFiles/g5r_rtl.dir/rtl/vcd.cc.o" "gcc" "src/CMakeFiles/g5r_rtl.dir/rtl/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

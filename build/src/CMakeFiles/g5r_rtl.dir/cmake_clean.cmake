@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5r_rtl.dir/rtl/kernel.cc.o"
+  "CMakeFiles/g5r_rtl.dir/rtl/kernel.cc.o.d"
+  "CMakeFiles/g5r_rtl.dir/rtl/netlist.cc.o"
+  "CMakeFiles/g5r_rtl.dir/rtl/netlist.cc.o.d"
+  "CMakeFiles/g5r_rtl.dir/rtl/vcd.cc.o"
+  "CMakeFiles/g5r_rtl.dir/rtl/vcd.cc.o.d"
+  "libg5r_rtl.a"
+  "libg5r_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5r_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5r_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/g5r_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/g5r_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/g5r_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/g5r_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/g5r_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/g5r_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/g5r_sim.dir/sim/stats.cc.o.d"
+  "libg5r_sim.a"
+  "libg5r_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5r_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5r_soc.dir/soc/experiments.cc.o"
+  "CMakeFiles/g5r_soc.dir/soc/experiments.cc.o.d"
+  "CMakeFiles/g5r_soc.dir/soc/nvdla_host.cc.o"
+  "CMakeFiles/g5r_soc.dir/soc/nvdla_host.cc.o.d"
+  "CMakeFiles/g5r_soc.dir/soc/pmu_observer.cc.o"
+  "CMakeFiles/g5r_soc.dir/soc/pmu_observer.cc.o.d"
+  "CMakeFiles/g5r_soc.dir/soc/soc.cc.o"
+  "CMakeFiles/g5r_soc.dir/soc/soc.cc.o.d"
+  "libg5r_soc.a"
+  "libg5r_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5r_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

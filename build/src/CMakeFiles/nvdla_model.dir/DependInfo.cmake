@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/nvdla/nvdla_api.cc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_api.cc.o" "gcc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_api.cc.o.d"
+  "/root/repo/src/models/nvdla/nvdla_design.cc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_design.cc.o" "gcc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_design.cc.o.d"
+  "/root/repo/src/models/nvdla/standalone.cc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/standalone.cc.o" "gcc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/standalone.cc.o.d"
+  "/root/repo/src/models/nvdla/trace.cc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/trace.cc.o" "gcc" "src/CMakeFiles/nvdla_model.dir/models/nvdla/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

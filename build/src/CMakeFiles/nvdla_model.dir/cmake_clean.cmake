@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_api.cc.o"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_api.cc.o.d"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_design.cc.o"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/nvdla_design.cc.o.d"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/standalone.cc.o"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/standalone.cc.o.d"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/trace.cc.o"
+  "CMakeFiles/nvdla_model.dir/models/nvdla/trace.cc.o.d"
+  "libnvdla_model.a"
+  "libnvdla_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdla_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvdla_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../models/libnvdla_rtl.pdb"
+  "../models/libnvdla_rtl.so"
+  "CMakeFiles/nvdla_rtl.dir/models/shim.cc.o"
+  "CMakeFiles/nvdla_rtl.dir/models/shim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdla_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_model.dir/models/pmu/pmu_api.cc.o"
+  "CMakeFiles/pmu_model.dir/models/pmu/pmu_api.cc.o.d"
+  "CMakeFiles/pmu_model.dir/models/pmu/pmu_design.cc.o"
+  "CMakeFiles/pmu_model.dir/models/pmu/pmu_design.cc.o.d"
+  "libpmu_model.a"
+  "libpmu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmu_model.a"
+)

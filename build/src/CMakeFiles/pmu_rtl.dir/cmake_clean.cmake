@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../models/libpmu_rtl.pdb"
+  "../models/libpmu_rtl.so"
+  "CMakeFiles/pmu_rtl.dir/models/shim.cc.o"
+  "CMakeFiles/pmu_rtl.dir/models/shim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridge.dir/bridge/rtl_object_test.cc.o"
+  "CMakeFiles/test_bridge.dir/bridge/rtl_object_test.cc.o.d"
+  "CMakeFiles/test_bridge.dir/bridge/tlb_test.cc.o"
+  "CMakeFiles/test_bridge.dir/bridge/tlb_test.cc.o.d"
+  "test_bridge"
+  "test_bridge.pdb"
+  "test_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/functional_test.cc" "tests/CMakeFiles/test_cpu.dir/cpu/functional_test.cc.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/functional_test.cc.o.d"
+  "/root/repo/tests/cpu/fuzz_test.cc" "tests/CMakeFiles/test_cpu.dir/cpu/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/fuzz_test.cc.o.d"
+  "/root/repo/tests/cpu/isa_test.cc" "tests/CMakeFiles/test_cpu.dir/cpu/isa_test.cc.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/isa_test.cc.o.d"
+  "/root/repo/tests/cpu/ooo_core_test.cc" "tests/CMakeFiles/test_cpu.dir/cpu/ooo_core_test.cc.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/ooo_core_test.cc.o.d"
+  "/root/repo/tests/cpu/simple_core_test.cc" "tests/CMakeFiles/test_cpu.dir/cpu/simple_core_test.cc.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/simple_core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/functional_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/functional_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/fuzz_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/fuzz_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/isa_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/isa_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/ooo_core_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/ooo_core_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/simple_core_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/simple_core_test.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/backing_store_test.cc" "tests/CMakeFiles/test_mem.dir/mem/backing_store_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/backing_store_test.cc.o.d"
+  "/root/repo/tests/mem/cache_test.cc" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cc.o.d"
+  "/root/repo/tests/mem/dram_test.cc" "tests/CMakeFiles/test_mem.dir/mem/dram_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/dram_test.cc.o.d"
+  "/root/repo/tests/mem/port_test.cc" "tests/CMakeFiles/test_mem.dir/mem/port_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/port_test.cc.o.d"
+  "/root/repo/tests/mem/protocol_fuzz_test.cc" "tests/CMakeFiles/test_mem.dir/mem/protocol_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/protocol_fuzz_test.cc.o.d"
+  "/root/repo/tests/mem/simple_mem_test.cc" "tests/CMakeFiles/test_mem.dir/mem/simple_mem_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/simple_mem_test.cc.o.d"
+  "/root/repo/tests/mem/xbar_test.cc" "tests/CMakeFiles/test_mem.dir/mem/xbar_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/xbar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5r_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5r_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

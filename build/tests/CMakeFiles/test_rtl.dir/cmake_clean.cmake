@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/kernel_test.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/kernel_test.cc.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/netlist_test.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/netlist_test.cc.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+  "test_rtl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
