@@ -1,0 +1,170 @@
+#include "lint/diagnostics.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace g5r::lint {
+
+std::string_view severityName(Severity s) {
+    switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    }
+    return "unknown";
+}
+
+Diagnostic& Report::add(std::string ruleId, Severity severity, std::string message,
+                        SourceLoc loc, std::vector<std::string> nets) {
+    diags_.push_back(Diagnostic{std::move(ruleId), severity, std::move(message),
+                                std::move(loc), std::move(nets)});
+    return diags_.back();
+}
+
+void Report::merge(const Report& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::size_t Report::count(Severity s) const {
+    std::size_t n = 0;
+    for (const auto& d : diags_) {
+        if (d.severity == s) ++n;
+    }
+    return n;
+}
+
+std::vector<const Diagnostic*> Report::byRule(std::string_view ruleId) const {
+    std::vector<const Diagnostic*> out;
+    for (const auto& d : diags_) {
+        if (d.ruleId == ruleId) out.push_back(&d);
+    }
+    return out;
+}
+
+std::string formatDiagnostic(const Diagnostic& d) {
+    std::ostringstream os;
+    if (d.loc.present()) {
+        os << (d.loc.file.empty() ? "<netlist>" : d.loc.file);
+        if (d.loc.line != 0) os << ':' << d.loc.line;
+        os << ": ";
+    }
+    os << severityName(d.severity) << '[' << d.ruleId << "]: " << d.message;
+    if (!d.nets.empty()) {
+        // Cycle paths read as chains; everything else as a plain list.
+        const char* sep = d.ruleId == "G5R-COMB-LOOP" ? " -> " : ", ";
+        os << " [";
+        for (std::size_t i = 0; i < d.nets.size(); ++i) {
+            if (i != 0) os << sep;
+            os << d.nets[i];
+        }
+        os << ']';
+    }
+    return os.str();
+}
+
+void emitText(const Report& report, std::ostream& os, bool summary) {
+    for (const auto& d : report.diagnostics()) os << formatDiagnostic(d) << '\n';
+    if (summary) {
+        os << report.errors() << " error(s), " << report.warnings()
+           << " warning(s) generated.\n";
+    }
+}
+
+namespace {
+
+void jsonEscape(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char* hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void emitJson(const Report& report, std::ostream& os) {
+    os << "{\"diagnostics\":[";
+    bool first = true;
+    for (const auto& d : report.diagnostics()) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"rule\":";
+        jsonEscape(os, d.ruleId);
+        os << ",\"severity\":";
+        jsonEscape(os, severityName(d.severity));
+        os << ",\"message\":";
+        jsonEscape(os, d.message);
+        os << ",\"file\":";
+        jsonEscape(os, d.loc.file);
+        os << ",\"line\":" << d.loc.line << ",\"nets\":[";
+        for (std::size_t i = 0; i < d.nets.size(); ++i) {
+            if (i != 0) os << ',';
+            jsonEscape(os, d.nets[i]);
+        }
+        os << "]}";
+    }
+    os << "],\"errors\":" << report.errors() << ",\"warnings\":" << report.warnings()
+       << "}\n";
+}
+
+const std::vector<RuleInfo>& ruleRegistry() {
+    static const std::vector<RuleInfo> kRules = {
+        // Netlist passes (src/lint/netlist_lint.cc).
+        {"G5R-SYNTAX", Severity::kError, "netlist statement could not be parsed"},
+        {"G5R-UNDRIVEN", Severity::kError, "operand or output references a net with no driver"},
+        {"G5R-MULTI-DRIVER", Severity::kError, "net is defined (driven) more than once"},
+        {"G5R-COMB-LOOP", Severity::kError,
+         "combinational cycle; the diagnostic names every net on the cycle path"},
+        {"G5R-FLOATING-INPUT", Severity::kWarning,
+         "declared input is consumed by nothing (floating pin)"},
+        {"G5R-FLOATING-NET", Severity::kWarning,
+         "net has no consumers and is not an output"},
+        {"G5R-DEAD-CONE", Severity::kWarning,
+         "nets from which no declared output is reachable"},
+        {"G5R-NO-OUTPUT", Severity::kWarning, "netlist declares no outputs"},
+        {"G5R-WIDTH-MISMATCH", Severity::kWarning,
+         "add/sub/mux operand widths disagree, or a mux select is wider than 1 bit"},
+        {"G5R-WIDTH-TRUNC", Severity::kWarning,
+         "result net is narrower than an operand; high bits are silently dropped"},
+        // Kernel-model passes (src/lint/kernel_lint.cc).
+        {"G5R-KRNL-DUP-SIGNAL", Severity::kError,
+         "two registers or submodules share one hierarchical name (corrupts VCD)"},
+        {"G5R-KRNL-ZERO-WIDTH", Severity::kError, "register declares zero width"},
+        {"G5R-KRNL-NEVER-LATCHED", Severity::kWarning,
+         "register never latched although the design has ticked"},
+        // SoC elaboration passes (src/lint/soc_lint.cc).
+        {"G5R-SOC-UNBOUND-PORT", Severity::kError, "crossbar port left unbound"},
+        {"G5R-SOC-ROUTE-OVERLAP", Severity::kError,
+         "two routes with identical interleaving match the same addresses"},
+        {"G5R-SOC-ROUTE-SHADOW", Severity::kError,
+         "route is fully shadowed by earlier routes and can never match"},
+        {"G5R-SOC-AMBIGUOUS-ROUTE", Severity::kWarning,
+         "routes with different interleaving overlap; first match wins"},
+        {"G5R-SOC-UNREACHABLE-MEM", Severity::kWarning,
+         "part of the memory range is not covered by any route"},
+        {"G5R-SOC-NO-ROUTE", Severity::kWarning, "crossbar has no downstream routes"},
+    };
+    return kRules;
+}
+
+const RuleInfo* findRule(std::string_view id) {
+    for (const auto& r : ruleRegistry()) {
+        if (r.id == id) return &r;
+    }
+    return nullptr;
+}
+
+}  // namespace g5r::lint

@@ -1,0 +1,148 @@
+// g5r-lint: static RTL/SoC analysis from the command line.
+//
+// Lints textual netlist files (the GHDL-path format of rtl/netlist_graph.hh)
+// without executing a single cycle, and can lint the built-in generated
+// designs ("--builtin bitonic:8"). Exit status: 0 clean or warnings only,
+// 1 when any error-severity finding was reported (or warnings under
+// --werror), 2 on usage/IO problems.
+//
+//   g5r-lint [options] <netlist-file>...
+//     --json              machine-readable output (one JSON document; the
+//                         per-diagnostic "file" field identifies the input)
+//     --werror            treat warnings as errors for the exit status
+//     --quiet             suppress clean-file summaries
+//     --builtin <name:N>  lint a generated design (names: bitonic)
+//     --list-rules        print the rule registry and exit
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hh"
+#include "lint/netlist_lint.hh"
+#include "rtl/netlist.hh"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+    os << "usage: g5r-lint [--json] [--werror] [--quiet] [--list-rules]\n"
+          "                [--builtin <name:N>] <netlist-file>...\n";
+    return code;
+}
+
+void listRules(std::ostream& os) {
+    for (const auto& rule : g5r::lint::ruleRegistry()) {
+        os << rule.id << "  (" << g5r::lint::severityName(rule.defaultSeverity)
+           << ")  " << rule.summary << '\n';
+    }
+}
+
+struct Input {
+    std::string label;   ///< Shown in diagnostics ("file.nl", "builtin:bitonic:8").
+    std::string source;  ///< Netlist text.
+};
+
+bool builtinSource(const std::string& spec, Input& input, std::string& error) {
+    const auto colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    unsigned n = 8;
+    if (colon != std::string::npos) {
+        try {
+            n = static_cast<unsigned>(std::stoul(spec.substr(colon + 1)));
+        } catch (const std::exception&) {
+            error = "bad builtin size in '" + spec + "'";
+            return false;
+        }
+    }
+    if (name == "bitonic") {
+        try {
+            input.source = g5r::rtl::bitonicSorterNetlist(n);
+        } catch (const g5r::rtl::NetlistError& e) {
+            error = e.what();
+            return false;
+        }
+        input.label = "builtin:bitonic:" + std::to_string(n);
+        return true;
+    }
+    error = "unknown builtin '" + name + "' (available: bitonic)";
+    return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false, werror = false, quiet = false;
+    std::vector<Input> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-rules") {
+            listRules(std::cout);
+            return 0;
+        } else if (arg == "--builtin") {
+            if (++i >= argc) return usage(std::cerr, 2);
+            Input input;
+            std::string error;
+            if (!builtinSource(argv[i], input, error)) {
+                std::cerr << "g5r-lint: " << error << '\n';
+                return 2;
+            }
+            inputs.push_back(std::move(input));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "g5r-lint: unknown option " << arg << '\n';
+            return usage(std::cerr, 2);
+        } else {
+            std::error_code ec;
+            if (!std::filesystem::is_regular_file(arg, ec)) {
+                std::cerr << "g5r-lint: not a regular file: " << arg << '\n';
+                return 2;
+            }
+            std::ifstream in(arg);
+            if (!in) {
+                std::cerr << "g5r-lint: cannot open " << arg << '\n';
+                return 2;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            inputs.push_back(Input{arg, ss.str()});
+        }
+    }
+    if (inputs.empty()) return usage(std::cerr, 2);
+
+    // In JSON mode all inputs merge into one document; the per-diagnostic
+    // "file" field keeps them apart.
+    g5r::lint::Report merged;
+    std::size_t errors = 0, warnings = 0;
+    for (const auto& input : inputs) {
+        const g5r::lint::Report report =
+            g5r::lint::runNetlistSource(input.source, input.label);
+        errors += report.errors();
+        warnings += report.warnings();
+        if (json) {
+            merged.merge(report);
+        } else if (!report.empty()) {
+            g5r::lint::emitText(report, std::cout);
+        } else if (!quiet) {
+            std::cout << input.label << ": clean\n";
+        }
+    }
+    if (json) {
+        g5r::lint::emitJson(merged, std::cout);
+    }
+    if (!json && !quiet && inputs.size() > 1) {
+        std::cout << inputs.size() << " input(s): " << errors << " error(s), "
+                  << warnings << " warning(s)\n";
+    }
+    return (errors > 0 || (werror && warnings > 0)) ? 1 : 0;
+}

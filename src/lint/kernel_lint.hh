@@ -1,0 +1,23 @@
+// Static analysis over the Verilator-style Module/Reg kernel hierarchy.
+//
+// Rules:
+//   G5R-KRNL-DUP-SIGNAL    error    two registers or submodules share one
+//                                   hierarchical name — the VCD writer would
+//                                   emit two $var declarations for what looks
+//                                   like a single signal, corrupting traces
+//   G5R-KRNL-ZERO-WIDTH    error    register declares zero width
+//   G5R-KRNL-NEVER-LATCHED warning  the design has latched at least one
+//                                   register, but this one never latched —
+//                                   a submodule missing from tick()/
+//                                   commitCycle() coverage
+#pragma once
+
+#include "lint/diagnostics.hh"
+#include "rtl/kernel.hh"
+
+namespace g5r::lint {
+
+/// Walk the hierarchy under @p root and run every kernel-model rule.
+Report run(const rtl::Module& root);
+
+}  // namespace g5r::lint

@@ -1,0 +1,308 @@
+#include "lint/netlist_lint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rtl/netlist.hh"
+
+namespace g5r::lint {
+namespace {
+
+using rtl::NetOp;
+using rtl::NetlistGraph;
+
+/// Combinational fan-out adjacency: edge s -> c when comb node c reads s.
+/// A register's data input is a sequential edge and is deliberately absent.
+std::vector<std::vector<int>> combFanout(const NetlistGraph& g) {
+    std::vector<std::vector<int>> out(g.nodes.size());
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        const auto& node = g.nodes[i];
+        if (rtl::netOpIsSource(node.op)) continue;
+        for (const int s : node.src) {
+            if (s >= 0) out[s].push_back(static_cast<int>(i));
+        }
+    }
+    return out;
+}
+
+/// Iterative Tarjan; returns SCCs ordered by their smallest member index.
+std::vector<std::vector<int>> stronglyConnected(
+    const std::vector<std::vector<int>>& out) {
+    const int n = static_cast<int>(out.size());
+    std::vector<int> index(n, -1), low(n, 0), stack;
+    std::vector<bool> onStack(n, false);
+    std::vector<std::vector<int>> sccs;
+    int counter = 0;
+
+    struct Frame {
+        int v;
+        std::size_t edge;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        std::vector<Frame> call{{root, 0}};
+        while (!call.empty()) {
+            Frame& f = call.back();
+            const int v = f.v;
+            if (f.edge == 0) {
+                index[v] = low[v] = counter++;
+                stack.push_back(v);
+                onStack[v] = true;
+            }
+            if (f.edge < out[v].size()) {
+                const int w = out[v][f.edge++];
+                if (index[w] == -1) {
+                    call.push_back(Frame{w, 0});
+                } else if (onStack[w]) {
+                    low[v] = std::min(low[v], index[w]);
+                }
+            } else {
+                if (low[v] == index[v]) {
+                    std::vector<int> scc;
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        scc.push_back(w);
+                    } while (w != v);
+                    std::sort(scc.begin(), scc.end());
+                    sccs.push_back(std::move(scc));
+                }
+                call.pop_back();
+                if (!call.empty()) {
+                    low[call.back().v] = std::min(low[call.back().v], low[v]);
+                }
+            }
+        }
+    }
+    std::sort(sccs.begin(), sccs.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return sccs;
+}
+
+/// A cycle start -> ... -> start inside one SCC (every member has such a
+/// path by strong connectivity). Returns node indices beginning at start.
+std::vector<int> cycleThrough(int start, const std::vector<bool>& inScc,
+                              const std::vector<std::vector<int>>& out) {
+    std::vector<int> path{start};
+    std::vector<std::size_t> next{0};
+    std::vector<bool> visited(out.size(), false);
+    visited[start] = true;
+    while (!path.empty()) {
+        const int u = path.back();
+        if (next.back() < out[u].size()) {
+            const int v = out[u][next.back()++];
+            if (!inScc[v]) continue;
+            if (v == start) return path;
+            if (!visited[v]) {
+                visited[v] = true;
+                path.push_back(v);
+                next.push_back(0);
+            }
+        } else {
+            path.pop_back();
+            next.pop_back();
+        }
+    }
+    return {start};  // Unreachable for a genuine SCC; defensive.
+}
+
+void lintStructure(const NetlistGraph& g, const std::string& file, Report& rep) {
+    const auto loc = [&](std::size_t line) { return SourceLoc{file, line}; };
+
+    for (const auto& e : g.errors) {
+        rep.add("G5R-SYNTAX", Severity::kError, e.message, loc(e.line));
+    }
+    for (const auto& r : g.redefinitions) {
+        rep.add("G5R-MULTI-DRIVER", Severity::kError,
+                "net '" + r.name + "' is driven more than once (first driver at line " +
+                    std::to_string(r.firstLine) + ")",
+                loc(r.line), {r.name});
+    }
+    for (const auto& u : g.unresolved) {
+        rep.add("G5R-UNDRIVEN", Severity::kError,
+                "'" + u.user + "' references net '" + u.ref + "', which has no driver",
+                loc(u.line), {u.ref});
+    }
+}
+
+void lintCombLoops(const NetlistGraph& g, const std::string& file, Report& rep) {
+    const auto out = combFanout(g);
+    const int n = static_cast<int>(g.nodes.size());
+    for (const auto& scc : stronglyConnected(out)) {
+        bool cyclic = scc.size() > 1;
+        if (!cyclic) {  // Trivial SCC: cyclic only via a self-edge.
+            const int v = scc.front();
+            cyclic = std::find(out[v].begin(), out[v].end(), v) != out[v].end();
+        }
+        if (!cyclic) continue;
+
+        std::vector<bool> inScc(n, false);
+        for (const int v : scc) inScc[v] = true;
+        const auto cycle = cycleThrough(scc.front(), inScc, out);
+
+        std::vector<std::string> nets;
+        nets.reserve(cycle.size() + 1);
+        for (const int v : cycle) nets.push_back(g.nodes[v].name);
+        nets.push_back(g.nodes[cycle.front()].name);  // Close the loop.
+
+        std::ostringstream msg;
+        msg << "combinational loop through " << scc.size() << " net(s): ";
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            if (i != 0) msg << " -> ";
+            msg << nets[i];
+        }
+        rep.add("G5R-COMB-LOOP", Severity::kError, msg.str(),
+                SourceLoc{file, g.nodes[cycle.front()].line}, std::move(nets));
+    }
+}
+
+void lintConnectivity(const NetlistGraph& g, const std::string& file, Report& rep) {
+    const int n = static_cast<int>(g.nodes.size());
+    std::vector<bool> consumed(n, false), exported(n, false);
+    for (const auto& node : g.nodes) {
+        for (const int s : node.src) {
+            if (s >= 0) consumed[s] = true;
+        }
+    }
+    for (const auto& o : g.outputs) {
+        if (o.target >= 0) exported[o.target] = true;
+    }
+
+    for (int i = 0; i < n; ++i) {
+        if (consumed[i] || exported[i]) continue;
+        const auto& node = g.nodes[i];
+        if (node.op == NetOp::kInput) {
+            rep.add("G5R-FLOATING-INPUT", Severity::kWarning,
+                    "input '" + node.name + "' is consumed by nothing (floating pin)",
+                    SourceLoc{file, node.line}, {node.name});
+        } else {
+            rep.add("G5R-FLOATING-NET", Severity::kWarning,
+                    "net '" + node.name + "' drives nothing and is not an output",
+                    SourceLoc{file, node.line}, {node.name});
+        }
+    }
+
+    if (g.outputs.empty()) {
+        if (n > 0) {
+            rep.add("G5R-NO-OUTPUT", Severity::kWarning,
+                    "netlist declares no outputs; nothing is observable",
+                    SourceLoc{file, 0});
+        }
+        return;  // Dead-cone analysis is all-dead noise without outputs.
+    }
+
+    // Dead cone: nodes from which no output is reachable == nodes not
+    // backward-reachable from any output target (regs traversed too: logic
+    // feeding only a reg that feeds an output is alive).
+    std::vector<bool> live(n, false);
+    std::vector<int> work;
+    for (const auto& o : g.outputs) {
+        if (o.target >= 0 && !live[o.target]) {
+            live[o.target] = true;
+            work.push_back(o.target);
+        }
+    }
+    while (!work.empty()) {
+        const int v = work.back();
+        work.pop_back();
+        for (const int s : g.nodes[v].src) {
+            if (s >= 0 && !live[s]) {
+                live[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    std::vector<std::string> dead;
+    std::size_t firstLine = 0;
+    for (int i = 0; i < n; ++i) {
+        if (live[i]) continue;
+        if (firstLine == 0) firstLine = g.nodes[i].line;
+        dead.push_back(g.nodes[i].name);
+    }
+    if (!dead.empty()) {
+        const std::size_t count = dead.size();
+        rep.add("G5R-DEAD-CONE", Severity::kWarning,
+                std::to_string(count) +
+                    " net(s) reach no declared output (dead logic cone)",
+                SourceLoc{file, firstLine}, std::move(dead));
+    }
+}
+
+void lintWidths(const NetlistGraph& g, const std::string& file, Report& rep) {
+    const auto width = [&](int idx) -> int {
+        return idx >= 0 ? static_cast<int>(g.nodes[idx].width) : -1;
+    };
+    for (const auto& node : g.nodes) {
+        const SourceLoc at{file, node.line};
+        if (node.op == NetOp::kAdd || node.op == NetOp::kSub) {
+            const int wa = width(node.src[0]), wb = width(node.src[1]);
+            if (wa > 0 && wb > 0 && wa != wb) {
+                rep.add("G5R-WIDTH-MISMATCH", Severity::kWarning,
+                        "'" + node.name + "': " + std::string(netOpName(node.op)) +
+                            " operands are " + std::to_string(wa) + " and " +
+                            std::to_string(wb) + " bits wide",
+                        at,
+                        {node.name, g.nodes[node.src[0]].name,
+                         g.nodes[node.src[1]].name});
+            }
+            const int widest = std::max(wa, wb);
+            if (widest > 0 && static_cast<int>(node.width) < widest) {
+                rep.add("G5R-WIDTH-TRUNC", Severity::kWarning,
+                        "'" + node.name + "' is " + std::to_string(node.width) +
+                            " bits wide but an operand is " + std::to_string(widest) +
+                            " bits; high bits are dropped",
+                        at, {node.name});
+            }
+        } else if (node.op == NetOp::kMux) {
+            const int ws = width(node.src[0]);
+            const int wa = width(node.src[1]), wb = width(node.src[2]);
+            if (ws > 1) {
+                rep.add("G5R-WIDTH-MISMATCH", Severity::kWarning,
+                        "'" + node.name + "': mux select '" +
+                            g.nodes[node.src[0]].name + "' is " + std::to_string(ws) +
+                            " bits wide; expected 1",
+                        at, {node.name, g.nodes[node.src[0]].name});
+            }
+            if (wa > 0 && wb > 0 && wa != wb) {
+                rep.add("G5R-WIDTH-MISMATCH", Severity::kWarning,
+                        "'" + node.name + "': mux data operands are " +
+                            std::to_string(wa) + " and " + std::to_string(wb) +
+                            " bits wide",
+                        at,
+                        {node.name, g.nodes[node.src[1]].name,
+                         g.nodes[node.src[2]].name});
+            }
+            const int widest = std::max(wa, wb);
+            if (widest > 0 && static_cast<int>(node.width) < widest) {
+                rep.add("G5R-WIDTH-TRUNC", Severity::kWarning,
+                        "'" + node.name + "' is " + std::to_string(node.width) +
+                            " bits wide but a data operand is " +
+                            std::to_string(widest) + " bits; high bits are dropped",
+                        at, {node.name});
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Report run(const NetlistGraph& graph, const std::string& file) {
+    Report rep;
+    lintStructure(graph, file, rep);
+    lintCombLoops(graph, file, rep);
+    lintConnectivity(graph, file, rep);
+    lintWidths(graph, file, rep);
+    return rep;
+}
+
+Report runNetlistSource(std::string_view source, const std::string& file) {
+    return run(rtl::parseNetlistGraph(source), file);
+}
+
+Report run(const rtl::Netlist& netlist, const std::string& file) {
+    return run(netlist.graph(), file);
+}
+
+}  // namespace g5r::lint

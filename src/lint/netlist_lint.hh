@@ -1,0 +1,41 @@
+// Static analysis over parsed netlists (the GHDL-path IR).
+//
+// Rules (stable IDs, see lint::ruleRegistry()):
+//   G5R-SYNTAX          error    unparseable statement
+//   G5R-UNDRIVEN        error    operand/output names a net with no driver
+//   G5R-MULTI-DRIVER    error    net defined more than once
+//   G5R-COMB-LOOP       error    combinational cycle (full path cited)
+//   G5R-FLOATING-INPUT  warning  declared input consumed by nothing
+//   G5R-FLOATING-NET    warning  non-input net with no consumers, not output
+//   G5R-DEAD-CONE       warning  nets that reach no declared output
+//   G5R-NO-OUTPUT       warning  netlist exports nothing
+//   G5R-WIDTH-MISMATCH  warning  add/sub/mux operand widths disagree
+//   G5R-WIDTH-TRUNC     warning  result narrower than an operand
+//
+// All passes are purely structural: no cycle of the design is executed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostics.hh"
+#include "rtl/netlist_graph.hh"
+
+namespace g5r::rtl {
+class Netlist;
+}
+
+namespace g5r::lint {
+
+/// Run every netlist rule over an already-parsed graph. @p file is used for
+/// diagnostic source locations ("" renders as "<netlist>").
+Report run(const rtl::NetlistGraph& graph, const std::string& file = "");
+
+/// Parse @p source tolerantly and lint the result.
+Report runNetlistSource(std::string_view source, const std::string& file = "");
+
+/// Lint an elaborated (therefore error-free) netlist; only warnings can
+/// result, since elaboration already enforced the error rules.
+Report run(const rtl::Netlist& netlist, const std::string& file = "");
+
+}  // namespace g5r::lint

@@ -1,0 +1,164 @@
+#include "lint/soc_lint.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace g5r::lint {
+namespace {
+
+std::string hexRange(Addr start, Addr end) {
+    std::ostringstream os;
+    os << "0x" << std::hex << start << "..0x" << end;
+    return os.str();
+}
+
+/// Two interleave specs select the same address subset iff they use the
+/// same (shift, bits) — or neither interleaves at all.
+bool sameInterleave(const RouteSpec& a, const RouteSpec& b) {
+    if (a.intlvBits != b.intlvBits) return false;
+    return a.intlvBits == 0 || a.intlvShift == b.intlvShift;
+}
+
+std::uint64_t matchOf(const RouteSpec& r) {
+    const std::uint64_t mask = (std::uint64_t{1} << r.intlvBits) - 1;
+    return r.intlvMatch & mask;
+}
+
+bool containsRange(const AddrRange& outer, const AddrRange& inner) {
+    return outer.start <= inner.start && outer.end >= inner.end;
+}
+
+}  // namespace
+
+void lintXbar(const Xbar& xbar, Report& report) {
+    for (unsigned i = 0; i < xbar.numCpuSidePorts(); ++i) {
+        const auto& port = xbar.cpuSidePort(i);
+        if (!port.isBound()) {
+            report.add("G5R-SOC-UNBOUND-PORT", Severity::kError,
+                       "cpu-side port '" + port.name() + "' is unbound", {},
+                       {port.name()});
+        }
+    }
+    for (unsigned i = 0; i < xbar.numMemSidePorts(); ++i) {
+        const auto& port = xbar.memSidePort(i);
+        if (!port.isBound()) {
+            report.add("G5R-SOC-UNBOUND-PORT", Severity::kError,
+                       "mem-side port '" + port.name() + "' is unbound", {},
+                       {port.name()});
+        }
+    }
+
+    const auto& routes = xbar.routes();
+    if (routes.empty()) {
+        report.add("G5R-SOC-NO-ROUTE", Severity::kWarning,
+                   "crossbar '" + xbar.name() + "' has no downstream routes", {},
+                   {xbar.name()});
+        return;
+    }
+
+    for (unsigned j = 0; j < routes.size(); ++j) {
+        const RouteSpec& b = routes[j];
+        const std::string portJ = xbar.memSidePort(j).name();
+        for (unsigned i = 0; i < j; ++i) {
+            const RouteSpec& a = routes[i];
+            if (!a.range.overlaps(b.range)) continue;
+            const std::string portI = xbar.memSidePort(i).name();
+
+            // An earlier catch-all over b's whole range: b can never win —
+            // route() picks the first match.
+            if (a.intlvBits == 0 && containsRange(a.range, b.range)) {
+                report.add("G5R-SOC-ROUTE-SHADOW", Severity::kError,
+                           "route of '" + portJ + "' is fully shadowed by '" +
+                               portI + "' (" + hexRange(a.range.start, a.range.end) +
+                               "); it can never match",
+                           {}, {portJ, portI});
+                continue;
+            }
+            if (sameInterleave(a, b)) {
+                if (a.intlvBits != 0 && matchOf(a) != matchOf(b)) continue;  // Disjoint stripes.
+                if (containsRange(a.range, b.range)) {
+                    report.add("G5R-SOC-ROUTE-SHADOW", Severity::kError,
+                               "route of '" + portJ + "' repeats the range and "
+                               "stripe of earlier '" + portI + "'; it can never match",
+                               {}, {portJ, portI});
+                } else {
+                    report.add("G5R-SOC-ROUTE-OVERLAP", Severity::kError,
+                               "routes of '" + portI + "' and '" + portJ +
+                                   "' both match " +
+                                   hexRange(std::max(a.range.start, b.range.start),
+                                            std::min(a.range.end, b.range.end)),
+                               {}, {portI, portJ});
+                }
+            } else {
+                report.add("G5R-SOC-AMBIGUOUS-ROUTE", Severity::kWarning,
+                           "routes of '" + portI + "' and '" + portJ +
+                               "' overlap with different interleaving; the "
+                               "earlier route wins where both match",
+                           {}, {portI, portJ});
+            }
+        }
+    }
+}
+
+void lintRouteCoverage(const Xbar& xbar, const AddrRange& range, Report& report) {
+    if (!range.valid()) return;
+
+    // A stripe group covers its range iff every match value is present.
+    struct Group {
+        AddrRange range;
+        unsigned shift, bits;
+        std::vector<bool> seen;
+    };
+    std::vector<Group> groups;
+    std::vector<AddrRange> covered;
+    for (const RouteSpec& r : xbar.routes()) {
+        if (!r.range.valid()) continue;
+        if (r.intlvBits == 0) {
+            covered.push_back(r.range);
+            continue;
+        }
+        if (r.intlvBits >= 20) continue;  // Implausible; treat as no coverage.
+        Group* group = nullptr;
+        for (auto& existing : groups) {
+            if (existing.range.start == r.range.start && existing.range.end == r.range.end &&
+                existing.shift == r.intlvShift && existing.bits == r.intlvBits) {
+                group = &existing;
+                break;
+            }
+        }
+        if (group == nullptr) {
+            groups.push_back(Group{r.range, r.intlvShift, r.intlvBits,
+                                   std::vector<bool>(std::size_t{1} << r.intlvBits, false)});
+            group = &groups.back();
+        }
+        group->seen[matchOf(r)] = true;
+    }
+    for (const auto& group : groups) {
+        if (std::all_of(group.seen.begin(), group.seen.end(), [](bool b) { return b; })) {
+            covered.push_back(group.range);
+        }
+    }
+
+    std::sort(covered.begin(), covered.end(),
+              [](const AddrRange& a, const AddrRange& b) { return a.start < b.start; });
+    Addr cursor = range.start;
+    const auto reportGap = [&](Addr gapStart, Addr gapEnd) {
+        report.add("G5R-SOC-UNREACHABLE-MEM", Severity::kWarning,
+                   "crossbar '" + xbar.name() + "': addresses " +
+                       hexRange(gapStart, gapEnd) +
+                       " are not fully covered by any route; accesses there "
+                       "panic with \"no route\"",
+                   {}, {xbar.name()});
+    };
+    for (const AddrRange& c : covered) {
+        if (cursor >= range.end) break;
+        if (c.end <= cursor) continue;
+        if (c.start > cursor) reportGap(cursor, std::min(c.start, range.end));
+        cursor = std::max(cursor, c.end);
+    }
+    if (cursor < range.end) reportGap(cursor, range.end);
+}
+
+}  // namespace g5r::lint

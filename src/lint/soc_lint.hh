@@ -1,0 +1,34 @@
+// Static analysis over elaborated SoC interconnect: post-construction
+// checks that catch wiring bugs before a single packet moves.
+//
+// Rules:
+//   G5R-SOC-UNBOUND-PORT    error    crossbar port with no peer — the first
+//                                    packet through it would panic
+//   G5R-SOC-ROUTE-OVERLAP   error    two routes with identical interleaving
+//                                    both match some address (ambiguous)
+//   G5R-SOC-ROUTE-SHADOW    error    route fully covered by earlier routes;
+//                                    its device is unreachable
+//   G5R-SOC-AMBIGUOUS-ROUTE warning  routes with *different* interleaving
+//                                    overlap; first-match-wins resolves it,
+//                                    but the intent is suspect
+//   G5R-SOC-UNREACHABLE-MEM warning  part of an address range no route
+//                                    covers — accesses there panic "no route"
+//   G5R-SOC-NO-ROUTE        warning  crossbar has no downstream routes
+#pragma once
+
+#include "lint/diagnostics.hh"
+#include "mem/addr_range.hh"
+#include "mem/xbar.hh"
+
+namespace g5r::lint {
+
+/// Port-binding and route-table checks for one crossbar.
+void lintXbar(const Xbar& xbar, Report& report);
+
+/// Check that every address in @p range is matched by some route of
+/// @p xbar (bank/channel interleaving is understood: a group of routes over
+/// the same range with the same shift/bits covers it when every match value
+/// is present). Reports G5R-SOC-UNREACHABLE-MEM otherwise.
+void lintRouteCoverage(const Xbar& xbar, const AddrRange& range, Report& report);
+
+}  // namespace g5r::lint

@@ -75,6 +75,10 @@ RequestPort& Xbar::addMemSidePort(const std::string& suffix, const RouteSpec& ro
     return *downPorts_.back();
 }
 
+const ResponsePort& Xbar::cpuSidePort(unsigned idx) const { return *upPorts_.at(idx); }
+
+const RequestPort& Xbar::memSidePort(unsigned idx) const { return *downPorts_.at(idx); }
+
 unsigned Xbar::route(Addr addr) const {
     for (unsigned i = 0; i < routes_.size(); ++i) {
         if (routes_[i].matches(addr)) return i;

@@ -63,6 +63,11 @@ public:
     std::size_t numCpuSidePorts() const { return upPorts_.size(); }
     std::size_t numMemSidePorts() const { return downPorts_.size(); }
 
+    // --- introspection for static analysis (src/lint/soc_lint) -------------
+    const ResponsePort& cpuSidePort(unsigned idx) const;
+    const RequestPort& memSidePort(unsigned idx) const;
+    const std::vector<RouteSpec>& routes() const { return routes_; }
+
 private:
     class UpPort;
     class DownPort;

@@ -4,7 +4,10 @@ namespace g5r::rtl {
 
 RegBase::RegBase(Module& owner, std::string regName, unsigned widthBits)
     : name_(std::move(regName)), width_(widthBits) {
-    simAssert(widthBits >= 1 && widthBits <= 64, "register width out of range");
+    // Zero-width registers are accepted here and rejected by the static
+    // analysis pass instead (G5R-KRNL-ZERO-WIDTH), so lint can report every
+    // problem in a design at once rather than aborting on the first.
+    simAssert(widthBits <= 64, "register wider than 64 bits");
     owner.registers_.push_back(this);
 }
 

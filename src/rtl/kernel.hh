@@ -35,14 +35,26 @@ public:
     const std::string& name() const { return name_; }
     unsigned width() const { return width_; }
 
-    virtual void latch() = 0;
+    /// q <- d. Non-virtual so every latch is counted: the static-analysis
+    /// pass in src/lint/kernel_lint flags registers that never latched
+    /// (G5R-KRNL-NEVER-LATCHED) after a design has ticked.
+    void latch() {
+        ++latchCount_;
+        doLatch();
+    }
+    std::uint64_t latchCount() const { return latchCount_; }
+
     virtual void holdDefault() = 0;  ///< d <- q, the implicit "else hold".
     virtual void resetState() = 0;
     virtual std::uint64_t valueBits() const = 0;
 
+protected:
+    virtual void doLatch() = 0;
+
 private:
     std::string name_;
     unsigned width_;
+    std::uint64_t latchCount_ = 0;
 };
 
 /// A register of up to 64 bits. Construct as a member of a Module.
@@ -65,10 +77,12 @@ public:
     /// Convenience: keep current value unless overwritten later in eval().
     void hold() { d_ = q_; }
 
-    void latch() override { q_ = d_; }
     void holdDefault() override { d_ = q_; }
     void resetState() override { q_ = d_ = resetValue_; }
     std::uint64_t valueBits() const override { return static_cast<std::uint64_t>(q_); }
+
+protected:
+    void doLatch() override { q_ = d_; }
 
 private:
     T resetValue_;

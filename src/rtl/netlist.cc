@@ -3,29 +3,9 @@
 #include <deque>
 #include <sstream>
 
+#include "lint/netlist_lint.hh"
+
 namespace g5r::rtl {
-namespace {
-
-std::vector<std::string> tokenize(const std::string& line) {
-    std::vector<std::string> tokens;
-    std::istringstream is(line);
-    std::string tok;
-    while (is >> tok) {
-        if (tok[0] == '#') break;
-        tokens.push_back(tok);
-    }
-    return tokens;
-}
-
-std::uint64_t parseValue(const std::string& tok, std::size_t lineNo) {
-    try {
-        return std::stoull(tok, nullptr, 0);
-    } catch (const std::exception&) {
-        throw NetlistError("netlist line " + std::to_string(lineNo) + ": bad value " + tok);
-    }
-}
-
-}  // namespace
 
 int Netlist::indexOf(const std::string& name) const {
     const auto it = byName_.find(name);
@@ -33,124 +13,38 @@ int Netlist::indexOf(const std::string& name) const {
     return it->second;
 }
 
-Netlist::Netlist(std::string_view source) {
-    struct PendingRef {
-        int node;
-        int slot;
-        std::string name;
-        std::size_t lineNo;
-    };
-    std::vector<PendingRef> refs;  // Resolved after all nodes exist (regs may
-                                   // reference nets defined later).
-
-    std::istringstream stream{std::string{source}};
-    std::string line;
-    std::size_t lineNo = 0;
-    while (std::getline(stream, line)) {
-        ++lineNo;
-        const auto tokens = tokenize(line);
-        if (tokens.empty()) continue;
-        const std::string& kind = tokens[0];
-
-        auto need = [&](std::size_t n) {
-            if (tokens.size() < n + 1) {
-                throw NetlistError("netlist line " + std::to_string(lineNo) +
-                                   ": too few operands for " + kind);
-            }
-        };
-
-        if (kind == "output") {
-            need(2);
-            refs.push_back(PendingRef{-1, -1, tokens[2], lineNo});
-            outputs_[tokens[1]] = -1;  // Patched below via refs.
-            // Store the alias name in the ref's node slot trick: use a
-            // dedicated pass instead — remember the pair.
-            refs.back().node = static_cast<int>(outputs_.size()) - 1;
-            refs.back().slot = -2;  // Marker: output alias.
-            // Keep the alias key for later patching.
-            refs.back().name = tokens[1] + "\n" + tokens[2];
-            continue;
+Netlist::Netlist(std::string_view source) : graph_(parseNetlistGraph(source)) {
+    // Strict mode: any error-severity lint finding (syntax, undriven net,
+    // multiple drivers, combinational loop) aborts elaboration. Warnings
+    // (floating nets, dead cones, width truncation) are tolerated here and
+    // surfaced by the g5r-lint tool.
+    const lint::Report report = lint::run(graph_);
+    if (report.hasErrors()) {
+        std::string what;
+        for (const auto& d : report.diagnostics()) {
+            if (d.severity != lint::Severity::kError) continue;
+            if (!what.empty()) what += '\n';
+            what += lint::formatDiagnostic(d);
         }
+        throw NetlistError(what);
+    }
 
+    nodes_.reserve(graph_.nodes.size());
+    for (const auto& gn : graph_.nodes) {
         Node node;
-        node.name = tokens[1];
-        if (byName_.count(node.name) > 0) {
-            throw NetlistError("netlist line " + std::to_string(lineNo) +
-                               ": duplicate net " + node.name);
-        }
-
-        auto ref = [&](int slot, const std::string& src) {
-            refs.push_back(PendingRef{static_cast<int>(nodes_.size()), slot, src, lineNo});
-        };
-
-        if (kind == "input") {
-            node.op = Op::kInput;
-            if (tokens.size() > 2) node.width = static_cast<unsigned>(parseValue(tokens[2], lineNo));
-        } else if (kind == "const") {
-            need(2);
-            node.op = Op::kConst;
-            node.init = parseValue(tokens[2], lineNo);
-        } else if (kind == "not") {
-            need(2);
-            node.op = Op::kNot;
-            ref(0, tokens[2]);
-        } else if (kind == "and" || kind == "or" || kind == "xor" || kind == "add" ||
-                   kind == "sub" || kind == "lt" || kind == "ltu" || kind == "eq") {
-            need(3);
-            node.op = kind == "and"  ? Op::kAnd
-                      : kind == "or"  ? Op::kOr
-                      : kind == "xor" ? Op::kXor
-                      : kind == "add" ? Op::kAdd
-                      : kind == "sub" ? Op::kSub
-                      : kind == "lt"  ? Op::kLt
-                      : kind == "ltu" ? Op::kLtu
-                                      : Op::kEq;
-            if (node.op == Op::kLt || node.op == Op::kLtu || node.op == Op::kEq) node.width = 1;
-            ref(0, tokens[2]);
-            ref(1, tokens[3]);
-        } else if (kind == "mux") {
-            need(4);
-            node.op = Op::kMux;
-            ref(0, tokens[2]);
-            ref(1, tokens[3]);
-            ref(2, tokens[4]);
-        } else if (kind == "reg") {
-            need(2);
-            node.op = Op::kReg;
-            ref(0, tokens[2]);
-            if (tokens.size() > 3) node.init = parseValue(tokens[3], lineNo);
+        node.op = gn.op;
+        node.name = gn.name;
+        node.width = gn.width;
+        node.init = gn.init;
+        for (int s = 0; s < 3; ++s) node.src[s] = gn.src[s];
+        if (node.op == Op::kReg) {
             node.value = node.init;
-        } else {
-            throw NetlistError("netlist line " + std::to_string(lineNo) +
-                               ": unknown statement " + kind);
+            regIndices_.push_back(static_cast<int>(nodes_.size()));
         }
-
         byName_[node.name] = static_cast<int>(nodes_.size());
-        if (node.op == Op::kReg) regIndices_.push_back(static_cast<int>(nodes_.size()));
         nodes_.push_back(std::move(node));
     }
-
-    // Resolve references.
-    for (const auto& r : refs) {
-        if (r.slot == -2) {
-            const auto newline = r.name.find('\n');
-            const std::string alias = r.name.substr(0, newline);
-            const std::string target = r.name.substr(newline + 1);
-            const auto it = byName_.find(target);
-            if (it == byName_.end()) {
-                throw NetlistError("netlist line " + std::to_string(r.lineNo) +
-                                   ": output of undefined net " + target);
-            }
-            outputs_[alias] = it->second;
-            continue;
-        }
-        const auto it = byName_.find(r.name);
-        if (it == byName_.end()) {
-            throw NetlistError("netlist line " + std::to_string(r.lineNo) +
-                               ": undefined net " + r.name);
-        }
-        nodes_[r.node].src[r.slot] = it->second;
-    }
+    for (const auto& out : graph_.outputs) outputs_[out.alias] = out.target;
 
     topoSort();
 }

@@ -9,15 +9,22 @@
 // Format (one statement per line, '#' comments):
 //   input  <name> [width]          -- external input net
 //   output <name> <src>            -- external output alias
-//   const  <name> <value>          -- literal
-//   not    <name> <a>              -- bitwise ops
-//   and|or|xor <name> <a> <b>
-//   add|sub <name> <a> <b>
+//   const  <name> <value> [width]  -- literal
+//   not    <name> <a> [width]      -- bitwise ops
+//   and|or|xor <name> <a> <b> [width]
+//   add|sub <name> <a> <b> [width]
 //   lt|ltu|eq <name> <a> <b>       -- comparisons (1-bit result)
-//   mux    <name> <sel> <a> <b>    -- sel ? a : b
-//   reg    <name> <next> [init]    -- D flip-flop, latched by tick()
+//   mux    <name> <sel> <a> <b> [width]
+//   reg    <name> <next> [init] [width]  -- D flip-flop, latched by tick()
 //
-// Nets are up to 64 bits wide (width is bookkeeping for masks/VCD).
+// Nets are up to 64 bits wide; values are masked to the net's width.
+//
+// Elaboration is the strict path over the tolerant parser in
+// rtl/netlist_graph.hh: the source is parsed into a NetlistGraph, the
+// static-analysis passes in src/lint run over it, and any error-severity
+// finding (syntax, undriven net, multiple drivers, combinational loop —
+// with the full cycle path in the message) aborts construction with a
+// NetlistError carrying the formatted diagnostics.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "rtl/netlist_graph.hh"
 
 namespace g5r::rtl {
 
@@ -59,11 +68,11 @@ public:
     /// Value of any named net after the last eval() (testing/debug).
     std::uint64_t probe(const std::string& name) const;
 
+    /// The parsed IR this netlist was elaborated from (lint re-runs, tools).
+    const NetlistGraph& graph() const { return graph_; }
+
 private:
-    enum class Op {
-        kInput, kConst, kNot, kAnd, kOr, kXor, kAdd, kSub,
-        kLt, kLtu, kEq, kMux, kReg,
-    };
+    using Op = NetOp;
 
     struct Node {
         Op op;
@@ -81,6 +90,7 @@ private:
     }
     void topoSort();
 
+    NetlistGraph graph_;
     std::vector<Node> nodes_;
     std::map<std::string, int, std::less<>> byName_;
     std::map<std::string, int, std::less<>> outputs_;  ///< alias -> node index.

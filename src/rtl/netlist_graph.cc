@@ -1,0 +1,237 @@
+#include "rtl/netlist_graph.hh"
+
+#include <optional>
+#include <sstream>
+
+namespace g5r::rtl {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) {
+        if (tok[0] == '#') break;
+        tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+std::optional<std::uint64_t> parseValue(const std::string& tok) {
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(tok, &used, 0);
+        if (used != tok.size()) return std::nullopt;
+        return v;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
+std::string_view netOpName(NetOp op) {
+    switch (op) {
+    case NetOp::kInput: return "input";
+    case NetOp::kConst: return "const";
+    case NetOp::kNot: return "not";
+    case NetOp::kAnd: return "and";
+    case NetOp::kOr: return "or";
+    case NetOp::kXor: return "xor";
+    case NetOp::kAdd: return "add";
+    case NetOp::kSub: return "sub";
+    case NetOp::kLt: return "lt";
+    case NetOp::kLtu: return "ltu";
+    case NetOp::kEq: return "eq";
+    case NetOp::kMux: return "mux";
+    case NetOp::kReg: return "reg";
+    }
+    return "?";
+}
+
+unsigned netOpArity(NetOp op) {
+    switch (op) {
+    case NetOp::kInput:
+    case NetOp::kConst: return 0;
+    case NetOp::kNot:
+    case NetOp::kReg: return 1;
+    case NetOp::kMux: return 3;
+    default: return 2;
+    }
+}
+
+bool netOpIsSource(NetOp op) {
+    return op == NetOp::kInput || op == NetOp::kConst || op == NetOp::kReg;
+}
+
+NetlistGraph parseNetlistGraph(std::string_view source) {
+    NetlistGraph g;
+
+    struct PendingRef {
+        int node;  ///< Consuming node index, or -1 for an output alias.
+        int slot;  ///< Operand slot, or output index when node == -1.
+        std::string name;
+        std::size_t line;
+    };
+    std::vector<PendingRef> refs;  // Resolved after all nodes exist (regs may
+                                   // reference nets defined later).
+
+    std::istringstream stream{std::string{source}};
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(stream, line)) {
+        ++lineNo;
+        const auto tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string& kind = tokens[0];
+
+        const auto fail = [&](std::string message) {
+            g.errors.push_back(NetlistGraph::ParseError{lineNo, std::move(message)});
+        };
+        const auto need = [&](std::size_t n) {
+            if (tokens.size() >= n + 1) return true;
+            fail("too few operands for " + kind);
+            return false;
+        };
+        // Optional trailing width token at position @p at.
+        const auto widthAt = [&](std::size_t at, NetlistGraph::Node& node) {
+            if (tokens.size() <= at) return true;
+            const auto v = parseValue(tokens[at]);
+            if (!v || *v > 64) {
+                fail("bad width " + tokens[at]);
+                return false;
+            }
+            node.width = static_cast<unsigned>(*v);
+            return true;
+        };
+
+        if (kind == "output") {
+            if (!need(2)) continue;
+            g.outputs.push_back(
+                NetlistGraph::Output{tokens[1], tokens[2], -1, lineNo});
+            refs.push_back(PendingRef{-1, static_cast<int>(g.outputs.size()) - 1,
+                                      tokens[2], lineNo});
+            continue;
+        }
+
+        if (tokens.size() < 2) {
+            fail("statement needs a net name");
+            continue;
+        }
+
+        NetlistGraph::Node node;
+        node.name = tokens[1];
+        node.line = lineNo;
+
+        const int selfIdx = static_cast<int>(g.nodes.size());
+        auto ref = [&](int slot, const std::string& src) {
+            refs.push_back(PendingRef{selfIdx, slot, src, lineNo});
+        };
+
+        bool ok = true;
+        if (kind == "input") {
+            node.op = NetOp::kInput;
+            ok = widthAt(2, node);
+        } else if (kind == "const") {
+            node.op = NetOp::kConst;
+            if ((ok = need(2))) {
+                const auto v = parseValue(tokens[2]);
+                if (!v) {
+                    fail("bad value " + tokens[2]);
+                    ok = false;
+                } else {
+                    node.init = *v;
+                }
+                if (ok) ok = widthAt(3, node);
+            }
+        } else if (kind == "not") {
+            node.op = NetOp::kNot;
+            if ((ok = need(2))) {
+                ref(0, tokens[2]);
+                ok = widthAt(3, node);
+            }
+        } else if (kind == "and" || kind == "or" || kind == "xor" || kind == "add" ||
+                   kind == "sub" || kind == "lt" || kind == "ltu" || kind == "eq") {
+            node.op = kind == "and"  ? NetOp::kAnd
+                      : kind == "or"  ? NetOp::kOr
+                      : kind == "xor" ? NetOp::kXor
+                      : kind == "add" ? NetOp::kAdd
+                      : kind == "sub" ? NetOp::kSub
+                      : kind == "lt"  ? NetOp::kLt
+                      : kind == "ltu" ? NetOp::kLtu
+                                      : NetOp::kEq;
+            const bool isCompare =
+                node.op == NetOp::kLt || node.op == NetOp::kLtu || node.op == NetOp::kEq;
+            if (isCompare) node.width = 1;
+            if ((ok = need(3))) {
+                ref(0, tokens[2]);
+                ref(1, tokens[3]);
+                if (!isCompare) ok = widthAt(4, node);
+            }
+        } else if (kind == "mux") {
+            node.op = NetOp::kMux;
+            if ((ok = need(4))) {
+                ref(0, tokens[2]);
+                ref(1, tokens[3]);
+                ref(2, tokens[4]);
+                ok = widthAt(5, node);
+            }
+        } else if (kind == "reg") {
+            node.op = NetOp::kReg;
+            if ((ok = need(2))) {
+                ref(0, tokens[2]);
+                if (tokens.size() > 3) {
+                    const auto v = parseValue(tokens[3]);
+                    if (!v) {
+                        fail("bad value " + tokens[3]);
+                        ok = false;
+                    } else {
+                        node.init = *v;
+                    }
+                }
+                if (ok) ok = widthAt(4, node);
+            }
+        } else {
+            fail("unknown statement " + kind);
+            ok = false;
+        }
+
+        if (!ok) {
+            // Drop the refs queued for this malformed node.
+            while (!refs.empty() && refs.back().node == selfIdx) refs.pop_back();
+            continue;
+        }
+
+        const auto [it, inserted] = g.byName.emplace(node.name, selfIdx);
+        if (!inserted) {
+            g.redefinitions.push_back(NetlistGraph::Redefinition{
+                node.name, g.nodes[it->second].line, lineNo});
+            while (!refs.empty() && refs.back().node == selfIdx) refs.pop_back();
+            continue;
+        }
+        g.nodes.push_back(std::move(node));
+    }
+
+    for (const auto& r : refs) {
+        const auto it = g.byName.find(r.name);
+        if (r.node < 0) {  // Output alias.
+            auto& out = g.outputs[r.slot];
+            if (it == g.byName.end()) {
+                g.unresolved.push_back(
+                    NetlistGraph::UnresolvedRef{out.alias, r.name, r.line});
+            } else {
+                out.target = it->second;
+            }
+            continue;
+        }
+        if (it == g.byName.end()) {
+            g.unresolved.push_back(NetlistGraph::UnresolvedRef{
+                g.nodes[r.node].name, r.name, r.line});
+        } else {
+            g.nodes[r.node].src[r.slot] = it->second;
+        }
+    }
+    return g;
+}
+
+}  // namespace g5r::rtl

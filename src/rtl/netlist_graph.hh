@@ -1,0 +1,100 @@
+// Parsed netlist IR: the analyzable form behind the Netlist interpreter.
+//
+// parseNetlistGraph() is deliberately *tolerant*: syntax errors, duplicate
+// definitions, and references to undefined nets do not throw — they are
+// recorded in the graph so static analysis (src/lint/netlist_lint) can
+// report every problem in one pass with source lines, instead of dying on
+// the first. The strict path (the Netlist constructor) parses, lints, and
+// throws when the lint report contains error-severity findings.
+//
+// Statement grammar (one per line, '#' starts a comment):
+//   input  <name> [width]
+//   output <name> <src>
+//   const  <name> <value>
+//   not    <name> <a> [width]
+//   and|or|xor|add|sub <name> <a> <b> [width]
+//   lt|ltu|eq <name> <a> <b>          -- 1-bit result
+//   mux    <name> <sel> <a> <b> [width]
+//   reg    <name> <next> [init] [width]
+//
+// The optional trailing width (default 64) is what makes the lint's
+// truncation analysis meaningful: values are masked to the net's width, so
+// a 64-bit sum flowing into an 8-bit net silently drops its high bits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g5r::rtl {
+
+enum class NetOp {
+    kInput, kConst, kNot, kAnd, kOr, kXor, kAdd, kSub,
+    kLt, kLtu, kEq, kMux, kReg,
+};
+
+std::string_view netOpName(NetOp op);
+
+/// Number of operand slots the op consumes.
+unsigned netOpArity(NetOp op);
+
+/// True for nodes with no *combinational* in-edges: inputs, constants, and
+/// registers (a reg's data input is a sequential edge, cut by the clock).
+bool netOpIsSource(NetOp op);
+
+struct NetlistGraph {
+    struct Node {
+        NetOp op = NetOp::kInput;
+        std::string name;
+        unsigned width = 64;
+        std::uint64_t init = 0;     ///< Reg: reset value. Const: literal.
+        int src[3] = {-1, -1, -1};  ///< Operand node indices; -1 = unresolved.
+        std::size_t line = 0;       ///< 1-based source line of the definition.
+    };
+
+    struct Output {
+        std::string alias;
+        std::string targetName;
+        int target = -1;  ///< Node index; -1 if the target net is undefined.
+        std::size_t line = 0;
+    };
+
+    /// A net defined more than once; the first definition wins, later ones
+    /// are dropped but remembered here.
+    struct Redefinition {
+        std::string name;
+        std::size_t firstLine = 0;
+        std::size_t line = 0;
+    };
+
+    /// An operand (or output target) naming a net that is never defined.
+    struct UnresolvedRef {
+        std::string user;  ///< The referencing net / output alias.
+        std::string ref;   ///< The missing net.
+        std::size_t line = 0;
+    };
+
+    struct ParseError {
+        std::size_t line = 0;
+        std::string message;
+    };
+
+    std::vector<Node> nodes;
+    std::vector<Output> outputs;
+    std::vector<Redefinition> redefinitions;
+    std::vector<UnresolvedRef> unresolved;
+    std::vector<ParseError> errors;
+    std::map<std::string, int, std::less<>> byName;
+
+    /// True when the graph is structurally sound enough to elaborate
+    /// (cycles are a separate, lint-detected property).
+    bool wellFormed() const {
+        return errors.empty() && redefinitions.empty() && unresolved.empty();
+    }
+};
+
+NetlistGraph parseNetlistGraph(std::string_view source);
+
+}  // namespace g5r::rtl

@@ -36,6 +36,11 @@ struct SocConfig {
     unsigned llcBanks = 8;
     bool l2Prefetcher = true;  ///< Table 1 has it on; ablation bench toggles it.
 
+    /// Run the interconnect lint (src/lint/soc_lint) at the end of Soc
+    /// construction and panic on error-severity findings (miswired ports,
+    /// ambiguous routes). Purely structural — no simulation cost.
+    bool elaborationLint = true;
+
     CacheParams l1iParams() const {
         CacheParams p;
         p.sizeBytes = 64 * 1024;

@@ -1,5 +1,8 @@
 #include "soc/soc.hh"
 
+#include <sstream>
+
+#include "lint/soc_lint.hh"
 #include "sim/logging.hh"
 
 namespace g5r {
@@ -114,6 +117,30 @@ Soc::Soc(Simulation& sim, const SocConfig& config) : sim_(sim), config_(config) 
             }
         }
     }
+
+    // Strict elaboration lint: a miswired interconnect should fail loudly
+    // here, not as a "no route for address" panic mid-simulation.
+    if (config_.elaborationLint) {
+        const lint::Report report = elaborationLint();
+        if (report.hasErrors()) {
+            std::ostringstream os;
+            os << "SoC elaboration lint failed:\n";
+            lint::emitText(report, os);
+            panicStream(os.str());
+        }
+    }
+}
+
+lint::Report Soc::elaborationLint() const {
+    lint::Report report;
+    lint::lintXbar(*systemXbar_, report);
+    lint::lintXbar(*memBus_, report);
+    for (const auto& mux : l1Muxes_) lint::lintXbar(*mux, report);
+    // Every byte of main memory must be reachable from the cores (through
+    // the LLC banks) and from the LLC (through the memory bus).
+    lint::lintRouteCoverage(*systemXbar_, config_.memRange, report);
+    lint::lintRouteCoverage(*memBus_, config_.memRange, report);
+    return report;
 }
 
 void Soc::loadProgram(unsigned coreId, const isa::Program& program, Addr base) {

@@ -22,6 +22,7 @@
 #include "bridge/rtl_object.hh"
 #include "cpu/assembler.hh"
 #include "cpu/ooo_core.hh"
+#include "lint/diagnostics.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache/cache.hh"
 #include "mem/dram.hh"
@@ -78,6 +79,13 @@ public:
 
     /// Peak DRAM bandwidth (0 for the ideal-memory configuration).
     double memPeakBandwidth() const;
+
+    /// Static analysis over the assembled interconnect: unbound crossbar
+    /// ports, overlapping/shadowed routes, uncovered memory. Runs
+    /// automatically (strict: errors panic) at the end of construction when
+    /// SocConfig::elaborationLint is set; callers that wire more ports
+    /// afterwards (attachRtlModel, addHostPort) can re-run it.
+    lint::Report elaborationLint() const;
 
     unsigned runningCores() const { return runningCores_; }
 

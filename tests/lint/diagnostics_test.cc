@@ -1,0 +1,101 @@
+// The shared diagnostics engine: severities, report bookkeeping, the text
+// and JSON emitters, and the stable-rule registry.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "lint/diagnostics.hh"
+
+namespace g5r::lint {
+namespace {
+
+TEST(Diagnostics, ReportCountsBySeverity) {
+    Report report;
+    report.add("G5R-COMB-LOOP", Severity::kError, "loop");
+    report.add("G5R-FLOATING-NET", Severity::kWarning, "floats");
+    report.add("G5R-FLOATING-NET", Severity::kWarning, "floats again");
+    report.add("G5R-DEAD-CONE", Severity::kNote, "fyi");
+    EXPECT_EQ(report.size(), 4u);
+    EXPECT_EQ(report.errors(), 1u);
+    EXPECT_EQ(report.warnings(), 2u);
+    EXPECT_EQ(report.count(Severity::kNote), 1u);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(report.byRule("G5R-FLOATING-NET").size(), 2u);
+    EXPECT_TRUE(report.byRule("G5R-SYNTAX").empty());
+}
+
+TEST(Diagnostics, MergePreservesOrder) {
+    Report a, b;
+    a.add("R1", Severity::kError, "first");
+    b.add("R2", Severity::kWarning, "second");
+    a.merge(b);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.diagnostics()[0].ruleId, "R1");
+    EXPECT_EQ(a.diagnostics()[1].ruleId, "R2");
+}
+
+TEST(Diagnostics, FormatWithLocationAndNets) {
+    Report report;
+    report.add("G5R-COMB-LOOP", Severity::kError, "combinational loop",
+               SourceLoc{"top.nl", 12}, {"a", "b", "a"});
+    EXPECT_EQ(formatDiagnostic(report.diagnostics().front()),
+              "top.nl:12: error[G5R-COMB-LOOP]: combinational loop [a -> b -> a]");
+}
+
+TEST(Diagnostics, FormatWithoutLocation) {
+    Report report;
+    report.add("G5R-KRNL-ZERO-WIDTH", Severity::kError, "zero width", {},
+               {"top.r"});
+    EXPECT_EQ(formatDiagnostic(report.diagnostics().front()),
+              "error[G5R-KRNL-ZERO-WIDTH]: zero width [top.r]");
+}
+
+TEST(Diagnostics, EmitTextSummarises) {
+    Report report;
+    report.add("R1", Severity::kError, "boom");
+    report.add("R2", Severity::kWarning, "hmm");
+    std::ostringstream os;
+    emitText(report, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("error[R1]: boom"), std::string::npos);
+    EXPECT_NE(out.find("warning[R2]: hmm"), std::string::npos);
+    EXPECT_NE(out.find("1 error(s), 1 warning(s) generated."), std::string::npos);
+}
+
+TEST(Diagnostics, EmitJsonEscapesAndCounts) {
+    Report report;
+    report.add("G5R-SYNTAX", Severity::kError, "bad \"token\"\nline two",
+               SourceLoc{"a\\b.nl", 3}, {"net1"});
+    std::ostringstream os;
+    emitJson(report, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"rule\":\"G5R-SYNTAX\""), std::string::npos) << out;
+    EXPECT_NE(out.find("\"severity\":\"error\""), std::string::npos);
+    EXPECT_NE(out.find("bad \\\"token\\\"\\nline two"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"file\":\"a\\\\b.nl\""), std::string::npos) << out;
+    EXPECT_NE(out.find("\"line\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"nets\":[\"net1\"]"), std::string::npos);
+    EXPECT_NE(out.find("\"errors\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"warnings\":0"), std::string::npos);
+}
+
+TEST(Diagnostics, RuleRegistryHasUniqueStableIds) {
+    std::set<std::string_view> ids;
+    for (const auto& rule : ruleRegistry()) {
+        EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule " << rule.id;
+        EXPECT_EQ(rule.id.substr(0, 4), "G5R-");
+        EXPECT_FALSE(rule.summary.empty());
+    }
+    // The five netlist rule classes the CLI advertises must stay registered
+    // under these exact IDs.
+    for (const char* id : {"G5R-COMB-LOOP", "G5R-MULTI-DRIVER",
+                           "G5R-FLOATING-INPUT", "G5R-DEAD-CONE",
+                           "G5R-WIDTH-TRUNC"}) {
+        EXPECT_NE(findRule(id), nullptr) << id;
+    }
+    EXPECT_EQ(findRule("G5R-NOT-A-RULE"), nullptr);
+}
+
+}  // namespace
+}  // namespace g5r::lint

@@ -1,0 +1,261 @@
+// Netlist static analysis: one fixture per rule, asserting rule ID,
+// severity, and the cited net names — plus the no-false-positive guarantee
+// over the generated bitonic sorter and the strict elaboration path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "lint/netlist_lint.hh"
+#include "rtl/netlist.hh"
+
+namespace g5r::lint {
+namespace {
+
+const Diagnostic& only(const Report& report, std::string_view rule) {
+    const auto found = report.byRule(rule);
+    EXPECT_EQ(found.size(), 1u) << "expected exactly one " << rule;
+    static const Diagnostic kEmpty{};
+    return found.empty() ? kEmpty : *found.front();
+}
+
+TEST(NetlistLint, CombLoopNamesEveryNetOnThePath) {
+    const Report report = runNetlistSource(R"(
+        input a
+        and x y a
+        and y x a
+        output o x
+    )");
+    EXPECT_TRUE(report.hasErrors());
+    const Diagnostic& d = only(report, "G5R-COMB-LOOP");
+    EXPECT_EQ(d.severity, Severity::kError);
+    // Full cycle path, closed: x -> y -> x.
+    ASSERT_EQ(d.nets.size(), 3u);
+    EXPECT_EQ(d.nets.front(), d.nets.back());
+    EXPECT_NE(std::find(d.nets.begin(), d.nets.end(), "x"), d.nets.end());
+    EXPECT_NE(std::find(d.nets.begin(), d.nets.end(), "y"), d.nets.end());
+    // The message spells the path out for humans too.
+    EXPECT_NE(d.message.find("x -> y -> x"), std::string::npos) << d.message;
+}
+
+TEST(NetlistLint, SelfLoopIsACombLoop) {
+    const Report report = runNetlistSource("input a\nand x x a\noutput o x\n");
+    const Diagnostic& d = only(report, "G5R-COMB-LOOP");
+    EXPECT_EQ(d.severity, Severity::kError);
+    ASSERT_EQ(d.nets.size(), 2u);
+    EXPECT_EQ(d.nets[0], "x");
+    EXPECT_EQ(d.nets[1], "x");
+}
+
+TEST(NetlistLint, LongerLoopListsAllMembers) {
+    const Report report = runNetlistSource(R"(
+        input i
+        and a c i
+        and b a i
+        and c b i
+        output o a
+    )");
+    const Diagnostic& d = only(report, "G5R-COMB-LOOP");
+    ASSERT_EQ(d.nets.size(), 4u);  // a -> b -> c -> a (closed).
+    for (const char* net : {"a", "b", "c"}) {
+        EXPECT_NE(std::find(d.nets.begin(), d.nets.end(), net), d.nets.end())
+            << net << " missing from cycle path";
+    }
+}
+
+TEST(NetlistLint, SequentialLoopThroughRegIsLegal) {
+    const Report report = runNetlistSource("reg r inv 0\nnot inv r\noutput o r\n");
+    EXPECT_TRUE(report.byRule("G5R-COMB-LOOP").empty());
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(NetlistLint, MultiDriver) {
+    const Report report = runNetlistSource(R"(
+        input a
+        input b
+        and x a b
+        or x a b
+        output o x
+    )");
+    const Diagnostic& d = only(report, "G5R-MULTI-DRIVER");
+    EXPECT_EQ(d.severity, Severity::kError);
+    ASSERT_EQ(d.nets.size(), 1u);
+    EXPECT_EQ(d.nets[0], "x");
+    EXPECT_EQ(d.loc.line, 5u);  // The redefinition, not the first driver.
+    EXPECT_NE(d.message.find("line 4"), std::string::npos) << d.message;
+}
+
+TEST(NetlistLint, UndrivenOperands) {
+    const Report report = runNetlistSource("and y a b\noutput o y\n");
+    const auto undriven = report.byRule("G5R-UNDRIVEN");
+    ASSERT_EQ(undriven.size(), 2u);
+    EXPECT_EQ(undriven[0]->severity, Severity::kError);
+    EXPECT_EQ(undriven[0]->nets, std::vector<std::string>{"a"});
+    EXPECT_EQ(undriven[1]->nets, std::vector<std::string>{"b"});
+}
+
+TEST(NetlistLint, UndrivenOutputTarget) {
+    const Report report = runNetlistSource("input a\noutput o nowhere\n");
+    const auto undriven = report.byRule("G5R-UNDRIVEN");
+    ASSERT_EQ(undriven.size(), 1u);
+    EXPECT_EQ(undriven[0]->nets, std::vector<std::string>{"nowhere"});
+}
+
+TEST(NetlistLint, FloatingInput) {
+    const Report report = runNetlistSource(R"(
+        input a
+        input unused
+        not y a
+        output o y
+    )");
+    const Diagnostic& d = only(report, "G5R-FLOATING-INPUT");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, std::vector<std::string>{"unused"});
+    EXPECT_FALSE(report.hasErrors());  // Warnings only.
+}
+
+TEST(NetlistLint, FloatingNet) {
+    const Report report = runNetlistSource(R"(
+        input a
+        not y a
+        not z a
+        output o y
+    )");
+    const Diagnostic& d = only(report, "G5R-FLOATING-NET");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, std::vector<std::string>{"z"});
+}
+
+TEST(NetlistLint, DeadConeListsEveryUnreachableNet) {
+    // y and z form a cone that reaches no output; a feeds only that cone.
+    const Report report = runNetlistSource(R"(
+        input a
+        input b
+        and y a b
+        xor z y b
+        output o b
+    )");
+    const Diagnostic& d = only(report, "G5R-DEAD-CONE");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, (std::vector<std::string>{"a", "y", "z"}));
+}
+
+TEST(NetlistLint, DeadConeSeesThroughRegisters) {
+    // Logic feeding a reg that feeds an output is alive, not dead.
+    const Report report = runNetlistSource(R"(
+        input in
+        add next acc in
+        reg acc next 0
+        output sum acc
+    )");
+    EXPECT_TRUE(report.byRule("G5R-DEAD-CONE").empty());
+    EXPECT_TRUE(report.empty()) << "accumulator should lint clean";
+}
+
+TEST(NetlistLint, WidthTruncation) {
+    const Report report = runNetlistSource(R"(
+        input a 32
+        input b 32
+        add s a b 8
+        output o s
+    )");
+    const Diagnostic& d = only(report, "G5R-WIDTH-TRUNC");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, std::vector<std::string>{"s"});
+    EXPECT_TRUE(report.byRule("G5R-WIDTH-MISMATCH").empty());
+}
+
+TEST(NetlistLint, WidthMismatch) {
+    const Report report = runNetlistSource(R"(
+        input a 32
+        input b 16
+        add s a b
+        output o s
+    )");
+    const Diagnostic& d = only(report, "G5R-WIDTH-MISMATCH");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, (std::vector<std::string>{"s", "a", "b"}));
+    EXPECT_TRUE(report.byRule("G5R-WIDTH-TRUNC").empty());  // s is 64 bits.
+}
+
+TEST(NetlistLint, MuxSelectWiderThanOneBit) {
+    const Report report = runNetlistSource(R"(
+        input sel 2
+        input a
+        input b
+        mux m sel a b
+        output o m
+    )");
+    const Diagnostic& d = only(report, "G5R-WIDTH-MISMATCH");
+    EXPECT_EQ(d.nets, (std::vector<std::string>{"m", "sel"}));
+}
+
+TEST(NetlistLint, NoOutput) {
+    const Report report = runNetlistSource("input a\nreg r a\n");
+    EXPECT_FALSE(report.byRule("G5R-NO-OUTPUT").empty());
+}
+
+TEST(NetlistLint, SyntaxErrors) {
+    const Report report = runNetlistSource("frobnicate x a\nconst c notanumber\n");
+    const auto syntax = report.byRule("G5R-SYNTAX");
+    ASSERT_EQ(syntax.size(), 2u);
+    EXPECT_EQ(syntax[0]->severity, Severity::kError);
+    EXPECT_EQ(syntax[0]->loc.line, 1u);
+    EXPECT_EQ(syntax[1]->loc.line, 2u);
+}
+
+TEST(NetlistLint, BitonicSorterIsClean) {
+    // The acceptance gate: zero findings — not merely zero errors — on the
+    // generated 8-lane sorter.
+    const Report report = runNetlistSource(rtl::bitonicSorterNetlist(8));
+    EXPECT_TRUE(report.empty()) << [&] {
+        std::ostringstream os;
+        emitText(report, os);
+        return os.str();
+    }();
+}
+
+TEST(NetlistLint, SourceLocationsCarryTheFileName) {
+    const Report report = runNetlistSource("and y a b\n", "designs/adder.nl");
+    ASSERT_FALSE(report.empty());
+    EXPECT_EQ(report.diagnostics().front().loc.file, "designs/adder.nl");
+    const std::string text = formatDiagnostic(report.diagnostics().front());
+    EXPECT_NE(text.find("designs/adder.nl:1:"), std::string::npos) << text;
+}
+
+// --- strict elaboration -----------------------------------------------------
+
+TEST(NetlistStrict, ConstructorThrowsWithFullCyclePath) {
+    try {
+        rtl::Netlist nl{"not a b\nnot b a\noutput o a\n"};
+        FAIL() << "expected NetlistError";
+    } catch (const rtl::NetlistError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("G5R-COMB-LOOP"), std::string::npos) << what;
+        EXPECT_NE(what.find("a -> b -> a"), std::string::npos) << what;
+    }
+}
+
+TEST(NetlistStrict, WarningsDoNotBlockElaboration) {
+    // Floating nets and dead cones are warnings; the design still builds.
+    rtl::Netlist nl{"input a\nnot y a\nnot z a\noutput o y\n"};
+    nl.setInput("a", 1);
+    nl.eval();
+    EXPECT_EQ(nl.output("o"), ~std::uint64_t{1});
+}
+
+TEST(NetlistStrict, ExplicitWidthsMaskValues) {
+    rtl::Netlist nl{"input a 16\nadd s a a 8\noutput o s\n"};
+    nl.setInput("a", 0xFF);
+    nl.eval();
+    EXPECT_EQ(nl.output("o"), 0xFEu);  // (0xFF + 0xFF) masked to 8 bits.
+}
+
+TEST(NetlistStrict, GraphAccessorSupportsRelint) {
+    const rtl::Netlist nl{rtl::bitonicSorterNetlist(4)};
+    EXPECT_TRUE(run(nl).empty());
+    EXPECT_EQ(nl.graph().nodes.size(), nl.numNodes());
+}
+
+}  // namespace
+}  // namespace g5r::lint

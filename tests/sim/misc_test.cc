@@ -62,7 +62,7 @@ TEST(Simulation, DumpStatsListsEveryObject) {
 using EventQueueDeath = ::testing::Test;
 
 TEST(EventQueueDeath, SchedulingIntoThePastPanics) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     const auto scheduleIntoPast = [] {
         EventQueue q;
         CallbackEvent later{[] {}, "later"};
@@ -74,7 +74,7 @@ TEST(EventQueueDeath, SchedulingIntoThePastPanics) {
 }
 
 TEST(EventQueueDeath, DoubleSchedulePanics) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     const auto doubleSchedule = [] {
         EventQueue q;
         CallbackEvent ev{[] {}, "ev"};
@@ -85,7 +85,7 @@ TEST(EventQueueDeath, DoubleSchedulePanics) {
 }
 
 TEST(EventQueueDeath, DescheduleIdleEventPanics) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     const auto descheduleIdle = [] {
         EventQueue q;
         CallbackEvent ev{[] {}, "ev"};
