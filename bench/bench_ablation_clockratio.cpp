@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "exp/runner.hh"
 #include "soc/experiments.hh"
 #include "soc/model_loader.hh"
 #include "soc/nvdla_host.hh"
@@ -58,7 +59,8 @@ Result run(Tick rtlPeriod, MemTech tech) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     std::printf("# Ablation: RTL clock ratio (GoogleNet conv2, one NVDLA, HBM)\n");
     std::printf("%-12s %14s %14s %12s\n", "rtl clock", "runtime (us)", "rtl ticks",
                 "host (s)");
@@ -72,9 +74,21 @@ int main() {
         {"2 GHz", periodFromGHz(2)},
     };
 
+    std::vector<exp::Task<Result>> tasks;
+    for (int i = 0; i < 3; ++i) {
+        tasks.push_back(exp::Task<Result>{
+            std::string{"clockratio/"} + clocks[i].name,
+            [period = clocks[i].period] { return run(period, MemTech::kHbm); }});
+    }
+    const auto outcomes = exp::runTasks(std::move(tasks), jobs);
+
     Result results[3];
     for (int i = 0; i < 3; ++i) {
-        results[i] = run(clocks[i].period, MemTech::kHbm);
+        if (!outcomes[i].ok) {
+            std::printf("WARN: %s failed: %s\n", outcomes[i].label.c_str(),
+                        outcomes[i].error.c_str());
+        }
+        results[i] = outcomes[i].value;
         std::printf("%-12s %14.2f %14.0f %12.3f\n", clocks[i].name,
                     ticksToMs(results[i].runtime) * 1000.0, results[i].ticks,
                     results[i].wall);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "exp/runner.hh"
 #include "cpu/ooo_core.hh"
 #include "cpu/simple_core.hh"
 #include "cpu/workloads.hh"
@@ -58,15 +59,22 @@ Measure run(const isa::Program& prog, const workloads::SortBenchmarkLayout& layo
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     workloads::SortBenchmarkLayout layout;
     layout.baseElems = 200;
     layout.sleepNs = 10'000;
     const auto prog = workloads::sortBenchmarkProgram(layout);
 
     std::printf("# Ablation: in-order vs out-of-order core on the sort benchmark\n");
-    const Measure inorder = run<SimpleCore, SimpleCoreParams>(prog, layout);
-    const Measure ooo = run<OooCore, OooCoreParams>(prog, layout);
+    const auto outcomes = exp::runTasks<Measure>(
+        {{"coremodel/in-order",
+          [&prog, &layout] { return run<SimpleCore, SimpleCoreParams>(prog, layout); }},
+         {"coremodel/out-of-order",
+          [&prog, &layout] { return run<OooCore, OooCoreParams>(prog, layout); }}},
+        jobs);
+    const Measure inorder = outcomes[0].value;
+    const Measure ooo = outcomes[1].value;
 
     std::printf("%-14s %14s %14s %8s\n", "core model", "cycles", "instructions", "IPC");
     std::printf("%-14s %14llu %14llu %8.3f\n", "in-order",

@@ -4,6 +4,7 @@
 // off, and reports cycles, IPC and L2 traffic.
 #include <cstdio>
 
+#include "exp/runner.hh"
 #include "soc/soc.hh"
 
 using namespace g5r;
@@ -58,11 +59,16 @@ Result run(bool prefetcher, unsigned lines) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     constexpr unsigned kLines = 8192;  // 512 KiB chase: past L2 into DRAM.
     std::printf("# Ablation: L2 stride prefetcher on a dependent 64 B-stride chase\n");
-    const Result off = run(false, kLines);
-    const Result on = run(true, kLines);
+    const auto outcomes = exp::runTasks<Result>(
+        {{"prefetcher/off", [] { return run(false, kLines); }},
+         {"prefetcher/on", [] { return run(true, kLines); }}},
+        jobs);
+    const Result off = outcomes[0].value;
+    const Result on = outcomes[1].value;
 
     std::printf("%-16s %12s %8s %14s %10s\n", "config", "cycles", "IPC",
                 "l2 prefetches", "l2 misses");

@@ -5,11 +5,23 @@
 // with weights steered to a private scratchpad, across DDR4 widths.
 #include <cstdio>
 
+#include "exp/runner.hh"
 #include "soc/experiments.hh"
 
 using namespace g5r;
 
-int main() {
+namespace {
+
+/// One technology: the dram-only baseline then the scratchpad run.
+struct PadPair {
+    experiments::DseRunResult base;
+    experiments::DseRunResult pad;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     models::NvdlaShape shape;  // FC-like: weights dominate the traffic.
     shape.width = shape.height = 12;
     shape.inChannels = 128;
@@ -25,20 +37,35 @@ int main() {
     std::printf("%-10s %16s %16s %9s\n", "memory", "dram-only (us)", "scratchpad (us)",
                 "speedup");
 
+    const std::vector<MemTech> techs{MemTech::kDdr4_1ch, MemTech::kDdr4_2ch,
+                                     MemTech::kGddr5};
+    std::vector<exp::Task<PadPair>> tasks;
+    for (const MemTech tech : techs) {
+        tasks.push_back(exp::Task<PadPair>{
+            std::string{"sramif/"} + memTechName(tech), [&shape, tech] {
+                experiments::DseRunConfig cfg;
+                cfg.shape = shape;
+                cfg.memTech = tech;
+                cfg.numCores = 0;
+                cfg.maxInflight = 64;
+
+                PadPair pair;
+                cfg.sramScratchpad = false;
+                pair.base = experiments::runNvdlaDse(cfg);
+                cfg.sramScratchpad = true;
+                pair.pad = experiments::runNvdlaDse(cfg);
+                return pair;
+            }});
+    }
+    const auto outcomes = exp::runTasks(std::move(tasks), jobs);
+
     int failures = 0;
-    for (const MemTech tech : {MemTech::kDdr4_1ch, MemTech::kDdr4_2ch, MemTech::kGddr5}) {
-        experiments::DseRunConfig cfg;
-        cfg.shape = shape;
-        cfg.memTech = tech;
-        cfg.numCores = 0;
-        cfg.maxInflight = 64;
-
-        cfg.sramScratchpad = false;
-        const auto base = experiments::runNvdlaDse(cfg);
-        cfg.sramScratchpad = true;
-        const auto pad = experiments::runNvdlaDse(cfg);
-
-        if (!base.completed || !pad.completed || !base.checksumsOk || !pad.checksumsOk) {
+    for (std::size_t i = 0; i < techs.size(); ++i) {
+        const MemTech tech = techs[i];
+        const auto& base = outcomes[i].value.base;
+        const auto& pad = outcomes[i].value.pad;
+        if (!outcomes[i].ok || !base.completed || !pad.completed || !base.checksumsOk ||
+            !pad.checksumsOk) {
             std::printf("%-10s verification FAILED\n", memTechName(tech));
             ++failures;
             continue;

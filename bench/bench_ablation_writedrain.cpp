@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <deque>
 
+#include "exp/runner.hh"
 #include "mem/dram.hh"
 #include "mem/dram_configs.hh"
 #include "sim/rng.hh"
@@ -101,14 +102,27 @@ Result run(double lowWatermark) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     std::printf("# Ablation: DRAM write-drain depth (DDR4-1ch, mixed stream)\n");
     std::printf("%-22s %14s %13s %12s\n", "low watermark", "completion(us)",
                 "turnarounds", "GB/s");
-    Result results[4];
     const double lowWm[4] = {0.80, 0.60, 0.40, 0.10};
+    std::vector<exp::Task<Result>> tasks;
     for (int i = 0; i < 4; ++i) {
-        results[i] = run(lowWm[i]);
+        char label[32];
+        std::snprintf(label, sizeof label, "writedrain/wm%.2f", lowWm[i]);
+        tasks.push_back(exp::Task<Result>{label, [wm = lowWm[i]] { return run(wm); }});
+    }
+    const auto outcomes = exp::runTasks(std::move(tasks), jobs);
+
+    Result results[4];
+    for (int i = 0; i < 4; ++i) {
+        if (!outcomes[i].ok) {
+            std::printf("WARN: %s failed: %s\n", outcomes[i].label.c_str(),
+                        outcomes[i].error.c_str());
+        }
+        results[i] = outcomes[i].value;
         std::printf("%-22.2f %14.2f %13.0f %12.2f\n", lowWm[i],
                     ticksToMs(results[i].completion) * 1000.0, results[i].turnarounds,
                     results[i].bandwidthGBs);

@@ -4,14 +4,17 @@
 // permitted in-flight memory requests.
 //
 // GEM5RTL_FULL=1 doubles the convolution's spatial dimensions.
+// --jobs N (or GEM5RTL_JOBS) fans the sweep points out over N worker
+// threads; the panels are bit-identical to a --jobs 1 run.
 #include "nvdla_dse_common.hh"
 
 using namespace g5r;
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     const unsigned scale = experiments::fullScaleRequested() ? 2 : 1;
     const auto shape = models::googlenetConv2Shape(scale);
-    const auto results = bench::runDseSweep(shape, "googlenet", bench::accelSweep());
+    const auto results = bench::runDseSweep(shape, "googlenet", bench::accelSweep(), jobs);
     const int failures = bench::printAndCheckDse(results, "Figure 6", "GoogleNet conv2");
 
     // GoogleNet-specific claims from the paper's text.
@@ -34,5 +37,6 @@ int main() {
     //  performance as the high-bandwidth memory configurations" (2 NVDLAs).
     check(at(2, MemTech::kDdr4_4ch, 240) > at(2, MemTech::kDdr4_2ch, 240),
           "(b) DDR4-4ch needed: 2ch is measurably worse with two instances");
+    bench::writeDseBenchJson(results, "fig6", "BENCH_fig6.json", "GoogleNet conv2");
     return failures + extra == 0 ? 0 : 2;
 }

@@ -4,14 +4,17 @@
 // technology much harder.
 //
 // GEM5RTL_FULL=1 doubles the convolution's spatial dimensions.
+// --jobs N (or GEM5RTL_JOBS) fans the sweep points out over N worker
+// threads; the panels are bit-identical to a --jobs 1 run.
 #include "nvdla_dse_common.hh"
 
 using namespace g5r;
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     const unsigned scale = experiments::fullScaleRequested() ? 2 : 1;
     const auto shape = models::sanity3Shape(scale);
-    const auto results = bench::runDseSweep(shape, "sanity3", bench::accelSweep());
+    const auto results = bench::runDseSweep(shape, "sanity3", bench::accelSweep(), jobs);
     const int failures = bench::printAndCheckDse(results, "Figure 7", "Sanity3");
 
     // Sanity3-specific claims from the paper's text.
@@ -38,5 +41,6 @@ int main() {
     //  respect to the 2 NVDLA accelerators" (4 instances).
     check(at(4, MemTech::kHbm, 240) < at(2, MemTech::kHbm, 240),
           "(c) even HBM degrades going from 2 to 4 instances");
+    bench::writeDseBenchJson(results, "fig7", "BENCH_fig7.json", "Sanity3");
     return failures + extra == 0 ? 0 : 2;
 }

@@ -5,18 +5,32 @@
 // Wall-clock times are averaged over three runs, like the paper. Default
 // sizes are scaled down (the paper's 3k/30k/60k quadratic sorts would take
 // hours of host time); GEM5RTL_FULL=1 selects larger arrays.
+//
+// Every (config, size, rep) run is an independent simulation, so the 27 of
+// them fan out over the parallel runner (--jobs / GEM5RTL_JOBS). Note that
+// overhead *ratios* stay meaningful under parallel execution (every config
+// shares the host contention), but absolute seconds are only comparable to
+// the paper's in --jobs 1 runs. Results serialize to BENCH_table2.json.
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "exp/bench_report.hh"
+#include "exp/runner.hh"
 #include "soc/experiments.hh"
 
 using namespace g5r;
 
 namespace {
 
-double runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, int rep) {
+struct OnceResult {
+    double wallSeconds = 0;
+    bool completed = false;
+    Tick finalTick = 0;
+};
+
+OnceResult runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, int rep) {
     experiments::PmuRunConfig cfg;
     cfg.layout.baseElems = baseElems;
     cfg.layout.sleepNs = 20'000;
@@ -29,21 +43,28 @@ double runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, int rep) 
     const auto start = std::chrono::steady_clock::now();
     const auto result = experiments::runPmuSortExperiment(cfg);
     const auto end = std::chrono::steady_clock::now();
-    if (!waveform && !result.completed) std::printf("WARN: run did not complete\n");
     if (!cfg.waveformPath.empty()) std::remove(cfg.waveformPath.c_str());
-    return std::chrono::duration<double>(end - start).count();
+
+    OnceResult once;
+    once.wallSeconds = std::chrono::duration<double>(end - start).count();
+    once.completed = result.completed;
+    once.finalTick = result.finalTick;
+    return once;
 }
 
-double average(std::uint64_t baseElems, bool attachPmu, bool waveform) {
-    constexpr int kReps = 3;  // The paper averages over three simulations.
-    double total = 0;
-    for (int rep = 0; rep < kReps; ++rep) total += runOnce(baseElems, attachPmu, waveform, rep);
-    return total / kReps;
-}
+struct Cell {
+    const char* config;
+    const char* sizeLabel;
+    std::uint64_t baseElems;
+    bool attachPmu;
+    bool waveform;
+    int rep;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = exp::parseJobsFlag(argc, argv);
     const bool full = experiments::fullScaleRequested();
     // Labelled after the paper's 3k/30k/60k columns; scaled for bench time.
     const std::vector<std::pair<const char*, std::uint64_t>> sizes =
@@ -58,10 +79,68 @@ int main() {
     for (const auto& [label, elems] : sizes) std::printf(" %14s", label);
     std::printf("\n");
 
-    std::vector<double> base, pmu, wave;
-    for (const auto& [label, elems] : sizes) base.push_back(average(elems, false, false));
-    for (const auto& [label, elems] : sizes) pmu.push_back(average(elems, true, false));
-    for (const auto& [label, elems] : sizes) wave.push_back(average(elems, true, true));
+    // One task per (config, size, rep), in the historical measurement order.
+    constexpr int kReps = 3;  // The paper averages over three simulations.
+    const struct {
+        const char* name;
+        bool attachPmu;
+        bool waveform;
+    } configs[] = {
+        {"gem5 (baseline)", false, false},
+        {"gem5+PMU", true, false},
+        {"gem5+PMU+waveform", true, true},
+    };
+    std::vector<Cell> cells;
+    std::vector<exp::Task<OnceResult>> tasks;
+    for (const auto& config : configs) {
+        for (const auto& [label, elems] : sizes) {
+            for (int rep = 0; rep < kReps; ++rep) {
+                cells.push_back(
+                    Cell{config.name, label, elems, config.attachPmu, config.waveform, rep});
+                const Cell& cell = cells.back();
+                tasks.push_back(exp::Task<OnceResult>{
+                    std::string{config.name} + "/" + label + "/rep" + std::to_string(rep),
+                    [cell] {
+                        return runOnce(cell.baseElems, cell.attachPmu, cell.waveform,
+                                       cell.rep);
+                    }});
+            }
+        }
+    }
+    const auto sweepStart = std::chrono::steady_clock::now();
+    const auto outcomes = exp::runTasks(std::move(tasks), jobs);
+    const double sweepWall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweepStart).count();
+
+    // Per-(config, size) averages, in the same layout as before.
+    const auto average = [&](bool attachPmu, bool waveform) {
+        std::vector<double> avg;
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            double total = 0;
+            int count = 0;
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                if (cells[i].attachPmu != attachPmu || cells[i].waveform != waveform ||
+                    cells[i].baseElems != sizes[s].second) {
+                    continue;
+                }
+                if (!outcomes[i].ok) {
+                    std::printf("WARN: %s failed: %s\n", outcomes[i].label.c_str(),
+                                outcomes[i].error.c_str());
+                    continue;
+                }
+                if (!waveform && !outcomes[i].value.completed) {
+                    std::printf("WARN: run did not complete\n");
+                }
+                total += outcomes[i].value.wallSeconds;
+                ++count;
+            }
+            avg.push_back(count > 0 ? total / count : 0.0);
+        }
+        return avg;
+    };
+    const std::vector<double> base = average(false, false);
+    const std::vector<double> pmu = average(true, false);
+    const std::vector<double> wave = average(true, true);
 
     auto row = [&](const char* name, const std::vector<double>& t) {
         std::printf("%-24s", name);
@@ -88,5 +167,37 @@ int main() {
     check(pmu[last] / base[last] < 2.0, "PMU overhead is manageable (< 2x)");
     check(wave[last] > pmu[last], "waveform tracing costs more than the bare PMU");
     check(wave[last] / base[last] > 1.5, "waveform overhead is substantial");
+
+    // ---- machine-readable results ------------------------------------------
+    exp::Json doc = exp::benchDocument("table2", jobs);
+    doc["sweepWallSeconds"] = sweepWall;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        exp::Json entry = exp::Json::object();
+        entry["config"] = cells[i].config;
+        entry["size"] = cells[i].sizeLabel;
+        entry["baseElems"] = cells[i].baseElems;
+        entry["rep"] = cells[i].rep;
+        entry["runtimeTicks"] = outcomes[i].ok ? outcomes[i].value.finalTick : Tick{0};
+        entry["wallSeconds"] = outcomes[i].wallSeconds;
+        entry["completed"] = outcomes[i].ok && outcomes[i].value.completed;
+        if (!outcomes[i].error.empty()) entry["error"] = outcomes[i].error;
+        doc["points"].push(std::move(entry));
+    }
+    // The paper's normalized matrix, for trend tracking at a glance.
+    exp::Json norm = exp::Json::object();
+    for (std::size_t c = 0; c < 3; ++c) {
+        const std::vector<double>& t = c == 0 ? base : (c == 1 ? pmu : wave);
+        exp::Json perSize = exp::Json::object();
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            perSize[sizes[i].first] = base[i] > 0 ? t[i] / base[i] : 0.0;
+        }
+        norm[configs[c].name] = std::move(perSize);
+    }
+    doc["normalizedOverhead"] = std::move(norm);
+    const std::string path = exp::writeBenchJson("BENCH_table2.json", doc);
+    if (!path.empty()) {
+        std::printf("# wrote %s (%zu points, jobs=%u, sweep %.1fs)\n", path.c_str(),
+                    doc["points"].size(), jobs, sweepWall);
+    }
     return failures == 0 ? 0 : 2;
 }

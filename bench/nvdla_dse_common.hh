@@ -5,6 +5,13 @@
 // ideal 1-cycle-memory run with the same instance count and cap, and prints
 // one panel per instance count in the paper's layout. Ends with qualitative
 // shape checks against the paper's findings.
+//
+// The sweep points are independent simulations, so they fan out over the
+// parallel experiment runner (src/exp/): one task per (instances, in-flight)
+// column, each running the ideal-memory baseline plus the five technologies
+// serially inside the task. Results assemble in submission order, so panel
+// text is bit-identical whatever --jobs is. Each sweep also serializes to a
+// machine-readable BENCH_<figure>.json results document.
 #pragma once
 
 #include <cstdio>
@@ -12,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/bench_report.hh"
+#include "exp/runner.hh"
 #include "soc/experiments.hh"
 
 namespace g5r::bench {
@@ -19,7 +28,9 @@ namespace g5r::bench {
 struct DsePoint {
     double normalized = 0;
     Tick runtime = 0;
+    double wallSeconds = 0;   ///< Host seconds for this one simulation.
     bool ok = false;
+    std::string error;        ///< Why the point failed, when it did.
 };
 
 using Series = std::map<unsigned, DsePoint>;  // inflight -> point.
@@ -28,35 +39,97 @@ struct DseResults {
     // [numAccel][tech] -> series over the in-flight sweep.
     std::map<unsigned, std::map<MemTech, Series>> panels;
     std::map<unsigned, Series> ideal;  // [numAccel] -> ideal runtimes.
+    double sweepWallSeconds = 0;       ///< Whole-sweep wall clock.
+    unsigned jobs = 1;                 ///< Worker threads used.
 };
+
+/// One (instances, in-flight) column: the ideal baseline plus every
+/// technology, normalised against that baseline.
+struct DseColumn {
+    DsePoint ideal;
+    std::map<MemTech, DsePoint> techs;
+};
+
+inline DseColumn runDseColumn(const models::NvdlaShape& shape,
+                              const std::string& workloadName, unsigned numAccel,
+                              unsigned inflight) {
+    experiments::DseRunConfig cfg;
+    cfg.shape = shape;
+    cfg.workloadName = workloadName;
+    cfg.numAccelerators = numAccel;
+    cfg.maxInflight = inflight;
+    cfg.numCores = 0;  // Idle cores contribute nothing to this study.
+
+    const auto timed = [](const experiments::DseRunConfig& c, double& wallSeconds) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto run = experiments::runNvdlaDse(c);
+        wallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return run;
+    };
+
+    DseColumn column;
+    cfg.memTech = MemTech::kIdeal;
+    const auto idealRun = timed(cfg, column.ideal.wallSeconds);
+    column.ideal.normalized = 1.0;
+    column.ideal.runtime = idealRun.runtimeTicks;
+    column.ideal.ok = idealRun.completed && idealRun.checksumsOk;
+
+    for (const MemTech tech : experiments::memTechSeries()) {
+        cfg.memTech = tech;
+        DsePoint point;
+        const auto run = timed(cfg, point.wallSeconds);
+        point.runtime = run.runtimeTicks;
+        point.ok = run.completed && run.checksumsOk;
+        point.normalized = experiments::normalizedPerf(idealRun, run);
+        column.techs[tech] = point;
+    }
+    return column;
+}
 
 inline DseResults runDseSweep(const models::NvdlaShape& shape,
                               const std::string& workloadName,
-                              const std::vector<unsigned>& accelCounts) {
-    DseResults results;
+                              const std::vector<unsigned>& accelCounts,
+                              unsigned jobs = 1) {
+    // One task per (instances, in-flight) column, in the historical nested
+    // loop order; the runner returns them in that same order.
+    std::vector<exp::Task<DseColumn>> tasks;
+    std::vector<std::pair<unsigned, unsigned>> keys;
     for (const unsigned n : accelCounts) {
         for (const unsigned inflight : experiments::inflightSweep()) {
-            experiments::DseRunConfig cfg;
-            cfg.shape = shape;
-            cfg.workloadName = workloadName;
-            cfg.numAccelerators = n;
-            cfg.maxInflight = inflight;
-            cfg.numCores = 0;  // Idle cores contribute nothing to this study.
+            keys.emplace_back(n, inflight);
+            tasks.push_back(exp::Task<DseColumn>{
+                workloadName + "/n" + std::to_string(n) + "/q" + std::to_string(inflight),
+                [&shape, &workloadName, n, inflight] {
+                    return runDseColumn(shape, workloadName, n, inflight);
+                }});
+        }
+    }
 
-            cfg.memTech = MemTech::kIdeal;
-            const auto idealRun = experiments::runNvdlaDse(cfg);
-            results.ideal[n][inflight] =
-                DsePoint{1.0, idealRun.runtimeTicks,
-                         idealRun.completed && idealRun.checksumsOk};
+    const auto sweepStart = std::chrono::steady_clock::now();
+    const auto outcomes = exp::runTasks(std::move(tasks), jobs);
 
-            for (const MemTech tech : experiments::memTechSeries()) {
-                cfg.memTech = tech;
-                const auto run = experiments::runNvdlaDse(cfg);
-                DsePoint point;
-                point.runtime = run.runtimeTicks;
-                point.ok = run.completed && run.checksumsOk;
-                point.normalized = experiments::normalizedPerf(idealRun, run);
+    DseResults results;
+    results.jobs = exp::resolveJobs(jobs);
+    results.sweepWallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweepStart).count();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& [n, inflight] = keys[i];
+        const auto& outcome = outcomes[i];
+        if (outcome.ok) {
+            results.ideal[n][inflight] = outcome.value.ideal;
+            for (const auto& [tech, point] : outcome.value.techs) {
                 results.panels[n][tech][inflight] = point;
+            }
+        } else {
+            // A failed column stays in the tables as not-ok points carrying
+            // the error, so the sweep reports it without losing neighbours.
+            DsePoint failed;
+            failed.error = outcome.error;
+            failed.wallSeconds = outcome.wallSeconds;
+            results.ideal[n][inflight] = failed;
+            for (const MemTech tech : experiments::memTechSeries()) {
+                results.panels[n][tech][inflight] = failed;
             }
         }
     }
@@ -122,6 +195,49 @@ inline int printAndCheckDse(const DseResults& results, const std::string& figure
               "DDR4-1ch degrades as instances are added");
     }
     return failures;
+}
+
+/// Serialize a DSE sweep to BENCH_<figure>.json: one entry per sweep point
+/// (tech "ideal" included) with runtime ticks, wall seconds, normalized
+/// perf, and checksum status, plus host/config metadata.
+inline void writeDseBenchJson(const DseResults& results, const std::string& benchName,
+                              const std::string& filename,
+                              const std::string& workloadName) {
+    exp::Json doc = exp::benchDocument(benchName, results.jobs);
+    doc["workload"] = workloadName;
+    doc["sweepWallSeconds"] = results.sweepWallSeconds;
+
+    const auto addPoint = [&doc](unsigned n, const char* tech, unsigned inflight,
+                                 const DsePoint& p) {
+        exp::Json entry = exp::Json::object();
+        entry["accelerators"] = n;
+        entry["memTech"] = tech;
+        entry["maxInflight"] = inflight;
+        entry["runtimeTicks"] = p.runtime;
+        entry["wallSeconds"] = p.wallSeconds;
+        entry["normalizedPerf"] = p.normalized;
+        entry["checksumOk"] = p.ok;
+        if (!p.error.empty()) entry["error"] = p.error;
+        doc["points"].push(std::move(entry));
+    };
+    for (const auto& [n, series] : results.ideal) {
+        for (const auto& [inflight, point] : series) {
+            addPoint(n, "ideal", inflight, point);
+        }
+    }
+    for (const auto& [n, techs] : results.panels) {
+        for (const auto& [tech, series] : techs) {
+            for (const auto& [inflight, point] : series) {
+                addPoint(n, memTechName(tech), inflight, point);
+            }
+        }
+    }
+
+    const std::string path = exp::writeBenchJson(filename, doc);
+    if (!path.empty()) {
+        std::printf("# wrote %s (%zu points, jobs=%u, sweep %.1fs)\n", path.c_str(),
+                    doc["points"].size(), results.jobs, results.sweepWallSeconds);
+    }
 }
 
 /// Accelerator counts: {1,2,4} like the paper; trimmed in quick CI runs.

@@ -1,0 +1,360 @@
+#include "exp/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace g5r::exp {
+namespace {
+
+[[noreturn]] void typeError(const char* what) {
+    throw std::runtime_error(std::string{"json: value is not "} + what);
+}
+
+void appendEscaped(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void appendNumber(std::string& out, double v) {
+    if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null like most writers.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[32];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v) {
+            out += probe;
+            return;
+        }
+    }
+    out += buf;
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parseDocument() {
+        Json value = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) {
+        throw std::runtime_error("json parse error at offset " + std::to_string(pos_) +
+                                 ": " + what);
+    }
+
+    void skipWhitespace() {
+        while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                       text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string{"expected '"} + c + "'");
+        ++pos_;
+    }
+
+    bool consumeKeyword(std::string_view kw) {
+        if (text_.substr(pos_, kw.size()) != kw) return false;
+        pos_ += kw.size();
+        return true;
+    }
+
+    Json parseValue() {
+        skipWhitespace();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return Json{parseString()};
+        case 't':
+            if (!consumeKeyword("true")) fail("bad keyword");
+            return Json{true};
+        case 'f':
+            if (!consumeKeyword("false")) fail("bad keyword");
+            return Json{false};
+        case 'n':
+            if (!consumeKeyword("null")) fail("bad keyword");
+            return Json{};
+        default: return parseNumber();
+        }
+    }
+
+    Json parseObject() {
+        expect('{');
+        Json obj = Json::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            obj[key] = parseValue();
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json parseArray() {
+        expect('[');
+        Json arr = Json::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                    else fail("bad \\u escape digit");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate pairs are
+                // out of scope for benchmark metadata).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parseNumber() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-") fail("bad number");
+        if (token.find('.') == std::string_view::npos &&
+            token.find('e') == std::string_view::npos &&
+            token.find('E') == std::string_view::npos) {
+            std::int64_t value = 0;
+            const auto [ptr, ec] =
+                std::from_chars(token.data(), token.data() + token.size(), value);
+            if (ec == std::errc{} && ptr == token.data() + token.size()) return Json{value};
+        }
+        double value = 0;
+        const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec != std::errc{} || ptr != token.data() + token.size()) fail("bad number");
+        return Json{value};
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::asBool() const {
+    if (kind_ != Kind::kBool) typeError("a bool");
+    return bool_;
+}
+
+std::int64_t Json::asInt() const {
+    if (kind_ != Kind::kInt) typeError("an integer");
+    return int_;
+}
+
+double Json::asDouble() const {
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    if (kind_ != Kind::kDouble) typeError("a number");
+    return double_;
+}
+
+const std::string& Json::asString() const {
+    if (kind_ != Kind::kString) typeError("a string");
+    return string_;
+}
+
+const Json::Array& Json::items() const {
+    if (kind_ != Kind::kArray) typeError("an array");
+    return array_;
+}
+
+const Json::Object& Json::members() const {
+    if (kind_ != Kind::kObject) typeError("an object");
+    return object_;
+}
+
+Json& Json::operator[](std::string_view key) {
+    if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+    if (kind_ != Kind::kObject) typeError("an object");
+    for (auto& [k, v] : object_) {
+        if (k == key) return v;
+    }
+    object_.emplace_back(std::string{key}, Json{});
+    return object_.back().second;
+}
+
+const Json& Json::at(std::string_view key) const {
+    if (kind_ != Kind::kObject) typeError("an object");
+    for (const auto& [k, v] : object_) {
+        if (k == key) return v;
+    }
+    throw std::runtime_error("json: missing key '" + std::string{key} + "'");
+}
+
+bool Json::contains(std::string_view key) const {
+    if (kind_ != Kind::kObject) return false;
+    for (const auto& [k, v] : object_) {
+        if (k == key) return true;
+    }
+    return false;
+}
+
+void Json::push(Json value) {
+    if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+    if (kind_ != Kind::kArray) typeError("an array");
+    array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+    if (kind_ == Kind::kArray) return array_.size();
+    if (kind_ == Kind::kObject) return object_.size();
+    typeError("a container");
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0) out += '\n';
+    return out;
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int level) {
+        if (indent <= 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * level, ' ');
+    };
+    switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: appendNumber(out, double_); break;
+    case Kind::kString: appendEscaped(out, string_); break;
+    case Kind::kArray:
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0) out += ',';
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty()) newline(depth);
+        out += ']';
+        break;
+    case Kind::kObject:
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i > 0) out += ',';
+            newline(depth + 1);
+            appendEscaped(out, object_[i].first);
+            out += indent > 0 ? ": " : ":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty()) newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+Json Json::parse(std::string_view text) { return Parser{text}.parseDocument(); }
+
+}  // namespace g5r::exp

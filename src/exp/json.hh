@@ -1,0 +1,84 @@
+// A minimal JSON document model for the BENCH_*.json results files.
+//
+// Self-contained on purpose (no third-party dependency may be added to the
+// container): enough of RFC 8259 for machine-readable benchmark output and
+// its round-trip tests. Objects preserve insertion order so serialized
+// documents are deterministic and diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace g5r::exp {
+
+class Json {
+public:
+    enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+    using Array = std::vector<Json>;
+    using Member = std::pair<std::string, Json>;
+    using Object = std::vector<Member>;  // Insertion-ordered.
+
+    Json() = default;  // null
+    Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+    Json(int v) : kind_(Kind::kInt), int_(v) {}
+    Json(unsigned v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+    Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+    Json(std::uint64_t v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+    Json(double v) : kind_(Kind::kDouble), double_(v) {}
+    Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+    Json(std::string_view s) : kind_(Kind::kString), string_(s) {}
+    Json(const char* s) : kind_(Kind::kString), string_(s) {}
+
+    static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+    static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;  ///< Valid for both kInt and kDouble.
+    const std::string& asString() const;
+    const Array& items() const;
+    const Object& members() const;
+
+    /// Object access: insert-or-fetch (mutable), throwing lookup (const).
+    Json& operator[](std::string_view key);
+    const Json& at(std::string_view key) const;
+    bool contains(std::string_view key) const;
+
+    /// Array append.
+    void push(Json value);
+
+    std::size_t size() const;
+
+    /// Serialize. indent = 0: compact one-liner; > 0: pretty, that many
+    /// spaces per level.
+    std::string dump(int indent = 0) const;
+
+    /// Parse a complete JSON document. Throws std::runtime_error (with an
+    /// offset) on malformed input or trailing garbage.
+    static Json parse(std::string_view text);
+
+private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+}  // namespace g5r::exp

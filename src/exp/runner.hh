@@ -1,0 +1,84 @@
+// The parallel experiment runner.
+//
+// A sweep is a vector of labelled tasks, each building and running its own
+// Simulation (tasks share *nothing*; see DESIGN.md's concurrency model).
+// runTasks() fans them out over a bounded ThreadPool and returns results in
+// deterministic submission order regardless of completion order. A task
+// that throws becomes a first-class failed point (ok = false, the exception
+// text in `error`) without poisoning its neighbours or aborting the sweep.
+//
+// With jobs <= 1 the tasks run inline on the calling thread, in order —
+// byte-compatible with the historical serial bench loops.
+#pragma once
+
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/thread_pool.hh"
+#include "sim/logging.hh"
+
+namespace g5r::exp {
+
+/// Worker count for sweeps: @p requested if nonzero, else the GEM5RTL_JOBS
+/// environment variable, else std::thread::hardware_concurrency().
+unsigned resolveJobs(unsigned requested = 0);
+
+/// Parse `--jobs N` / `--jobs=N` from argv (ignoring unrelated arguments)
+/// and resolve it as resolveJobs() does. Exits with a usage message on a
+/// malformed value.
+unsigned parseJobsFlag(int argc, char** argv);
+
+template <typename T>
+struct Task {
+    std::string label;      ///< Run label: tags log output, names the point.
+    std::function<T()> fn;  ///< Builds, runs, and measures one experiment.
+};
+
+template <typename T>
+struct TaskResult {
+    std::string label;
+    bool ok = false;
+    std::string error;       ///< Exception text when !ok.
+    double wallSeconds = 0;  ///< Host wall-clock spent inside the task.
+    T value{};               ///< Meaningful only when ok.
+};
+
+template <typename T>
+std::vector<TaskResult<T>> runTasks(std::vector<Task<T>> tasks, unsigned jobs) {
+    std::vector<TaskResult<T>> results(tasks.size());
+    const auto runOne = [&tasks, &results](std::size_t i) {
+        TaskResult<T>& result = results[i];
+        result.label = tasks[i].label;
+        const RunLabelScope labelScope{result.label};
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            result.value = tasks[i].fn();
+            result.ok = true;
+        } catch (const std::exception& e) {
+            result.error = e.what();
+        } catch (...) {
+            result.error = "unknown exception";
+        }
+        result.wallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    };
+
+    if (resolveJobs(jobs) <= 1 || tasks.size() <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i) runOne(i);
+        return results;
+    }
+    // Each task writes only its pre-sized slot; pool.wait() publishes the
+    // writes to this thread before results is read.
+    ThreadPool pool{resolveJobs(jobs)};
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        pool.submit([&runOne, i] { runOne(i); });
+    }
+    pool.wait();
+    return results;
+}
+
+}  // namespace g5r::exp

@@ -1,0 +1,53 @@
+#include "exp/thread_pool.hh"
+
+#include <algorithm>
+
+namespace g5r::exp {
+
+ThreadPool::ThreadPool(unsigned jobs) {
+    const unsigned n = std::max(1u, jobs);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    // std::jthread joins on destruction; workers drain the queue first.
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        queue_.push_back(std::move(job));
+    }
+    workAvailable_.notify_one();
+}
+
+void ThreadPool::wait() {
+    std::unique_lock<std::mutex> lock{mutex_};
+    allIdle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+    std::unique_lock<std::mutex> lock{mutex_};
+    while (true) {
+        workAvailable_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and nothing left to drain.
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        job();
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0) allIdle_.notify_all();
+    }
+}
+
+}  // namespace g5r::exp

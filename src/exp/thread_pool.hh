@@ -1,0 +1,53 @@
+// A bounded worker pool for fan-out experiment sweeps.
+//
+// std::jthread-based: N workers pull jobs from a FIFO queue. The pool exists
+// to run *independent* Simulation instances side by side (one thread drives
+// one Simulation at a time — the concurrency model DESIGN.md documents), so
+// it deliberately has no futures, priorities or work stealing; submission
+// order is the only order that matters and result placement is the caller's
+// job (see runner.hh, which writes each result into a pre-sized slot).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace g5r::exp {
+
+class ThreadPool {
+public:
+    /// Spawn @p jobs workers (clamped to >= 1).
+    explicit ThreadPool(unsigned jobs);
+
+    /// Finishes every queued job, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a job. Thread-safe. Jobs must not throw (wrap them; the
+    /// runner does) and must not submit() recursively into a pool they
+    /// block on with wait().
+    void submit(std::function<void()> job);
+
+    /// Block until every job submitted so far has finished.
+    void wait();
+
+    unsigned jobCount() const { return static_cast<unsigned>(workers_.size()); }
+
+private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allIdle_;
+    std::deque<std::function<void()>> queue_;
+    unsigned active_ = 0;
+    bool stopping_ = false;
+    std::vector<std::jthread> workers_;  // Last member: joins before the rest die.
+};
+
+}  // namespace g5r::exp

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/packet_id.hh"
 #include "sim/ticks.hh"
 
 namespace g5r {
@@ -123,10 +124,10 @@ public:
     std::string toString() const;
 
 private:
-    static std::uint64_t nextId() {
-        static std::uint64_t counter = 0;
-        return ++counter;
-    }
+    // IDs come from the thread's active per-Simulation counter (installed by
+    // Simulation::run()), so a run's ID stream is deterministic no matter
+    // how many simulations share the process. See sim/packet_id.hh.
+    static std::uint64_t nextId() { return nextPacketId(); }
 
     MemCmd cmd_;
     Addr addr_;

@@ -73,9 +73,8 @@ void EventQueue::popStale() {
     }
 }
 
-Tick EventQueue::nextTick() const {
-    auto* self = const_cast<EventQueue*>(this);
-    self->popStale();
+Tick EventQueue::nextTick() {
+    popStale();
     simAssert(!heap_.empty(), "nextTick() on an empty queue");
     return heap_.front().when;
 }

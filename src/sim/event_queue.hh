@@ -32,8 +32,9 @@ public:
     /// True when no live events remain.
     bool empty() const { return liveEvents_ == 0; }
 
-    /// Tick of the next live event. Queue must not be empty.
-    Tick nextTick() const;
+    /// Tick of the next live event. Queue must not be empty. Non-const:
+    /// lazily drops stale (descheduled) heap entries from the top.
+    Tick nextTick();
 
     /// Pop and process the next event, advancing curTick.
     void serviceOne();

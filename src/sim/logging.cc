@@ -4,6 +4,7 @@
 #include <iostream>
 #include <mutex>
 #include <set>
+#include <utility>
 
 namespace g5r {
 namespace {
@@ -30,11 +31,27 @@ const std::set<std::string, std::less<>>& debugFlags() {
 
 std::mutex logMutex;
 
+thread_local std::string tlsRunLabel;
+
+/// Every diagnostic goes out as one pre-built string under the mutex, so
+/// concurrent runs can interleave whole lines but never characters.
+void writeStderrLine(const std::string& line) {
+    const std::lock_guard<std::mutex> lock{logMutex};
+    std::cerr << line;
+}
+
 }  // namespace
 
+std::string formatPanicMessage(std::string_view msg, const std::source_location& loc) {
+    std::ostringstream os;
+    if (!tlsRunLabel.empty()) os << '[' << tlsRunLabel << "] ";
+    os << "panic: " << msg << "\n  at " << loc.file_name() << ':' << loc.line() << " ("
+       << loc.function_name() << ")\n";
+    return os.str();
+}
+
 [[noreturn]] void panicImpl(std::string_view msg, const std::source_location& loc) {
-    std::cerr << "panic: " << msg << "\n  at " << loc.file_name() << ':' << loc.line()
-              << " (" << loc.function_name() << ")\n";
+    writeStderrLine(formatPanicMessage(msg, loc));
     std::abort();
 }
 
@@ -49,8 +66,29 @@ bool debugFlagEnabled(std::string_view flag) {
 }
 
 void debugPrint(std::string_view flag, const std::string& msg) {
-    const std::lock_guard<std::mutex> lock{logMutex};
-    std::cerr << '[' << flag << "] " << msg << '\n';
+    std::string line;
+    line.reserve(tlsRunLabel.size() + flag.size() + msg.size() + 8);
+    if (!tlsRunLabel.empty()) {
+        line += '[';
+        line += tlsRunLabel;
+        line += "] ";
+    }
+    line += '[';
+    line += flag;
+    line += "] ";
+    line += msg;
+    line += '\n';
+    writeStderrLine(line);
 }
+
+void setLogRunLabel(std::string label) { tlsRunLabel = std::move(label); }
+
+const std::string& logRunLabel() { return tlsRunLabel; }
+
+RunLabelScope::RunLabelScope(std::string label) : prev_(std::move(tlsRunLabel)) {
+    tlsRunLabel = std::move(label);
+}
+
+RunLabelScope::~RunLabelScope() { tlsRunLabel = std::move(prev_); }
 
 }  // namespace g5r

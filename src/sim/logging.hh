@@ -39,7 +39,36 @@ simAssert(bool cond, std::string_view what,
 bool debugFlagEnabled(std::string_view flag);
 
 /// Emit one debug-trace line (already formatted) for the given flag.
+/// The whole line is built first and written with a single locked write,
+/// so lines from concurrent simulations never interleave mid-line.
 void debugPrint(std::string_view flag, const std::string& msg);
+
+// --- run labels ------------------------------------------------------------
+// When experiment runs execute in parallel (src/exp/), each worker tags its
+// log and panic output with a run label so interleaved *lines* remain
+// attributable. The label is thread-local: one thread drives one run.
+
+/// Set the calling thread's run label ("" = untagged, the default).
+void setLogRunLabel(std::string label);
+
+/// The calling thread's current run label.
+const std::string& logRunLabel();
+
+/// RAII: tag the calling thread's log output for the scope's lifetime.
+class RunLabelScope {
+public:
+    explicit RunLabelScope(std::string label);
+    ~RunLabelScope();
+    RunLabelScope(const RunLabelScope&) = delete;
+    RunLabelScope& operator=(const RunLabelScope&) = delete;
+
+private:
+    std::string prev_;
+};
+
+/// The exact single string panicImpl() writes (exposed for tests): run
+/// label tag, message, and source location, newline-terminated.
+std::string formatPanicMessage(std::string_view msg, const std::source_location& loc);
 
 /// Build a message from streamable parts: strCat(a, " ", b) -> std::string.
 template <typename... Parts>

@@ -1,0 +1,28 @@
+#include "sim/packet_id.hh"
+
+#include <atomic>
+
+namespace g5r {
+namespace {
+
+thread_local std::uint64_t* activePacketCounter = nullptr;
+
+/// Fallback for packets built outside any Simulation::run() (unit tests,
+/// ad-hoc tooling). Atomic: such packets may still be built from several
+/// threads at once.
+std::atomic<std::uint64_t> processPacketCounter{0};
+
+}  // namespace
+
+std::uint64_t nextPacketId() {
+    if (activePacketCounter != nullptr) return ++*activePacketCounter;
+    return processPacketCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+PacketIdScope::PacketIdScope(std::uint64_t& counter) : prev_(activePacketCounter) {
+    activePacketCounter = &counter;
+}
+
+PacketIdScope::~PacketIdScope() { activePacketCounter = prev_; }
+
+}  // namespace g5r

@@ -1,0 +1,35 @@
+// Per-run packet-ID allocation.
+//
+// Packet IDs used to come from one process-global (non-atomic!) counter,
+// which was a data race once two Simulations ran on different threads and
+// made a run's ID sequence depend on every run that preceded it in the
+// process. IDs are now drawn from a thread-local *active counter*, installed
+// by `Simulation::run()` (one thread per Simulation — see DESIGN.md) so each
+// run observes its own deterministic 1, 2, 3, ... sequence regardless of how
+// many runs execute concurrently. Code that builds packets with no
+// Simulation driving the thread (some unit tests) falls back to a
+// process-global std::atomic counter.
+#pragma once
+
+#include <cstdint>
+
+namespace g5r {
+
+/// Next packet ID: the thread's active per-run counter when one is
+/// installed, the atomic process-global fallback otherwise.
+std::uint64_t nextPacketId();
+
+/// RAII: install @p counter as the calling thread's active packet-ID
+/// counter. Scopes nest; the previous counter is restored on destruction.
+class PacketIdScope {
+public:
+    explicit PacketIdScope(std::uint64_t& counter);
+    ~PacketIdScope();
+    PacketIdScope(const PacketIdScope&) = delete;
+    PacketIdScope& operator=(const PacketIdScope&) = delete;
+
+private:
+    std::uint64_t* prev_;
+};
+
+}  // namespace g5r

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "sim/logging.hh"
+#include "sim/packet_id.hh"
 #include "sim/sim_object.hh"
 
 namespace g5r {
@@ -22,6 +23,10 @@ void Simulation::exitSimLoop(std::string reason) {
 }
 
 RunResult Simulation::run(Tick maxTick) {
+    // All packets built while this simulation's events execute draw their
+    // IDs from this instance, not a process-wide counter, so the stream is
+    // identical whether one or many simulations share the process.
+    const PacketIdScope idScope{packetIdCounter_};
     if (!initialized_) {
         initialized_ = true;
         for (SimObject* obj : objects_) obj->init();

@@ -56,9 +56,15 @@ public:
 
     const std::vector<SimObject*>& objects() const { return objects_; }
 
+    /// This simulation's packet-ID counter. run() installs it as the
+    /// calling thread's active counter (sim/packet_id.hh) so the run's
+    /// packet-ID stream is per-Simulation and deterministic.
+    std::uint64_t& packetIdCounter() { return packetIdCounter_; }
+
 private:
     EventQueue queue_;
     std::vector<SimObject*> objects_;
+    std::uint64_t packetIdCounter_ = 0;
     bool initialized_ = false;
     bool exitRequested_ = false;
     std::string exitMessage_;

@@ -1,0 +1,147 @@
+// The runner's contract: deterministic submission-order results whatever the
+// worker count, first-class per-point failures, and per-run packet-ID
+// streams identical under --jobs 1 and --jobs N.
+#include "exp/runner.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "mem/packet.hh"
+#include "sim/event.hh"
+#include "sim/simulation.hh"
+
+namespace g5r::exp {
+namespace {
+
+/// A mock experiment: its own Simulation, a few events, and the packet IDs
+/// the run observed — everything a real sweep point produces, in miniature.
+struct MockOutcome {
+    int point = 0;
+    Tick finalTick = 0;
+    std::vector<std::uint64_t> packetIds;
+
+    bool operator==(const MockOutcome&) const = default;
+};
+
+MockOutcome runMockExperiment(int point) {
+    Simulation sim;
+    MockOutcome outcome;
+    outcome.point = point;
+
+    // Each event mints packets, recording the IDs this run hands out.
+    CallbackEvent tick{[&outcome] {
+        for (int i = 0; i <= outcome.point % 3; ++i) {
+            outcome.packetIds.push_back(makeReadPacket(0x1000, 64)->id());
+        }
+    }, "mock.tick"};
+    for (Tick t = 100; t <= 500; t += 100) {
+        sim.eventQueue().schedule(tick, t);
+        sim.run();
+    }
+    outcome.finalTick = sim.curTick();
+    return outcome;
+}
+
+std::vector<Task<MockOutcome>> mockSweep(int points) {
+    std::vector<Task<MockOutcome>> tasks;
+    for (int p = 0; p < points; ++p) {
+        tasks.push_back(Task<MockOutcome>{"mock/p" + std::to_string(p),
+                                          [p] { return runMockExperiment(p); }});
+    }
+    return tasks;
+}
+
+TEST(Runner, SixteenPointSweepIdenticalAcrossJobCounts) {
+    const auto serial = runTasks(mockSweep(16), 1);
+    const auto parallel = runTasks(mockSweep(16), 4);
+
+    ASSERT_EQ(serial.size(), 16u);
+    ASSERT_EQ(parallel.size(), 16u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].ok);
+        EXPECT_TRUE(parallel[i].ok);
+        // Submission order is preserved...
+        EXPECT_EQ(serial[i].label, "mock/p" + std::to_string(i));
+        EXPECT_EQ(parallel[i].label, serial[i].label);
+        // ...and the results — including each run's packet-ID stream — are
+        // identical whatever the worker count.
+        EXPECT_EQ(parallel[i].value, serial[i].value) << "point " << i;
+    }
+}
+
+TEST(Runner, PacketIdStreamsRestartPerRun) {
+    // Per-Simulation counters: every run sees IDs 1, 2, 3, ... regardless
+    // of how many runs came before it in the process.
+    const auto results = runTasks(mockSweep(4), 2);
+    for (const auto& r : results) {
+        ASSERT_TRUE(r.ok);
+        ASSERT_FALSE(r.value.packetIds.empty());
+        for (std::size_t i = 0; i < r.value.packetIds.size(); ++i) {
+            EXPECT_EQ(r.value.packetIds[i], i + 1) << r.label;
+        }
+    }
+}
+
+TEST(Runner, FailingPointDoesNotPoisonNeighbours) {
+    std::vector<Task<int>> tasks;
+    for (int p = 0; p < 8; ++p) {
+        tasks.push_back(Task<int>{"point" + std::to_string(p), [p]() -> int {
+                                      if (p == 3) throw std::runtime_error("simulated fault");
+                                      if (p == 5) throw 42;  // Non-std exception.
+                                      return p * 10;
+                                  }});
+    }
+    const auto results = runTasks(std::move(tasks), 4);
+    ASSERT_EQ(results.size(), 8u);
+    for (int p = 0; p < 8; ++p) {
+        if (p == 3) {
+            EXPECT_FALSE(results[p].ok);
+            EXPECT_EQ(results[p].error, "simulated fault");
+        } else if (p == 5) {
+            EXPECT_FALSE(results[p].ok);
+            EXPECT_EQ(results[p].error, "unknown exception");
+        } else {
+            EXPECT_TRUE(results[p].ok);
+            EXPECT_EQ(results[p].value, p * 10);
+            EXPECT_TRUE(results[p].error.empty());
+        }
+    }
+}
+
+TEST(Runner, TasksRunUnderTheirRunLabel) {
+    std::vector<Task<std::string>> tasks;
+    for (int p = 0; p < 6; ++p) {
+        tasks.push_back(Task<std::string>{"label" + std::to_string(p),
+                                          [] { return logRunLabel(); }});
+    }
+    const auto results = runTasks(std::move(tasks), 3);
+    for (int p = 0; p < 6; ++p) {
+        EXPECT_EQ(results[p].value, "label" + std::to_string(p));
+    }
+    // The label does not leak out of the runner.
+    EXPECT_EQ(logRunLabel(), "");
+}
+
+TEST(Runner, WallSecondsArePopulated) {
+    const auto results = runTasks(mockSweep(2), 2);
+    for (const auto& r : results) EXPECT_GE(r.wallSeconds, 0.0);
+}
+
+TEST(RunnerJobs, ResolveJobsPrefersExplicitValue) {
+    EXPECT_EQ(resolveJobs(3), 3u);
+    EXPECT_GE(resolveJobs(0), 1u);  // env or hardware_concurrency, >= 1.
+}
+
+TEST(RunnerJobs, ParseJobsFlagVariants) {
+    const char* argv1[] = {"bench", "--jobs", "5"};
+    EXPECT_EQ(parseJobsFlag(3, const_cast<char**>(argv1)), 5u);
+    const char* argv2[] = {"bench", "--jobs=7"};
+    EXPECT_EQ(parseJobsFlag(2, const_cast<char**>(argv2)), 7u);
+    const char* argv3[] = {"bench", "--unrelated"};
+    EXPECT_GE(parseJobsFlag(2, const_cast<char**>(argv3)), 1u);
+}
+
+}  // namespace
+}  // namespace g5r::exp

@@ -1,0 +1,77 @@
+#include "exp/thread_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace g5r::exp {
+namespace {
+
+TEST(ThreadPool, RunsEveryJob) {
+    ThreadPool pool{4};
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ClampsZeroJobsToOne) {
+    ThreadPool pool{0};
+    EXPECT_EQ(pool.jobCount(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrencyIsBounded) {
+    ThreadPool pool{2};
+    std::atomic<int> active{0};
+    std::atomic<int> maxActive{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&active, &maxActive] {
+            const int now = active.fetch_add(1) + 1;
+            int seen = maxActive.load();
+            while (now > seen && !maxActive.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            active.fetch_sub(1);
+        });
+    }
+    pool.wait();
+    EXPECT_LE(maxActive.load(), 2);
+    EXPECT_GE(maxActive.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool{1};
+        for (int i = 0; i < 20; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                count.fetch_add(1);
+            });
+        }
+        // No wait(): destruction must still run everything queued.
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+    ThreadPool pool{2};
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace g5r::exp
