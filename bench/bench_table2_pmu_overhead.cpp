@@ -28,6 +28,7 @@ struct OnceResult {
     double wallSeconds = 0;
     bool completed = false;
     Tick finalTick = 0;
+    std::shared_ptr<const obs::ProfileReport> profile;  ///< GEM5RTL_PROFILE=1.
 };
 
 OnceResult runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, int rep) {
@@ -49,6 +50,7 @@ OnceResult runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, int r
     once.wallSeconds = std::chrono::duration<double>(end - start).count();
     once.completed = result.completed;
     once.finalTick = result.finalTick;
+    once.profile = result.profile;
     return once;
 }
 
@@ -181,6 +183,16 @@ int main(int argc, char** argv) {
         entry["wallSeconds"] = outcomes[i].wallSeconds;
         entry["completed"] = outcomes[i].ok && outcomes[i].value.completed;
         if (!outcomes[i].error.empty()) entry["error"] = outcomes[i].error;
+        if (outcomes[i].ok && outcomes[i].value.profile != nullptr) {
+            exp::Json buckets = exp::Json::object();
+            for (const auto& b : outcomes[i].value.profile->buckets()) {
+                exp::Json one = exp::Json::object();
+                one["seconds"] = b.seconds;
+                one["fraction"] = b.fraction;
+                buckets[b.name] = std::move(one);
+            }
+            entry["profileBuckets"] = std::move(buckets);
+        }
         doc["points"].push(std::move(entry));
     }
     // The paper's normalized matrix, for trend tracking at a glance.

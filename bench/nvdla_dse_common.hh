@@ -31,6 +31,11 @@ struct DsePoint {
     double wallSeconds = 0;   ///< Host seconds for this one simulation.
     bool ok = false;
     std::string error;        ///< Why the point failed, when it did.
+
+    /// Per-master memory-bus latency summaries (always collected).
+    std::vector<std::pair<std::string, obs::LatencySummary>> memLatency;
+    /// Host-time profile, only when GEM5RTL_PROFILE (or config) enabled it.
+    std::shared_ptr<const obs::ProfileReport> profile;
 };
 
 using Series = std::map<unsigned, DsePoint>;  // inflight -> point.
@@ -74,6 +79,8 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
     column.ideal.normalized = 1.0;
     column.ideal.runtime = idealRun.runtimeTicks;
     column.ideal.ok = idealRun.completed && idealRun.checksumsOk;
+    column.ideal.memLatency = idealRun.memLatency;
+    column.ideal.profile = idealRun.profile;
 
     for (const MemTech tech : experiments::memTechSeries()) {
         cfg.memTech = tech;
@@ -82,6 +89,8 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
         point.runtime = run.runtimeTicks;
         point.ok = run.completed && run.checksumsOk;
         point.normalized = experiments::normalizedPerf(idealRun, run);
+        point.memLatency = run.memLatency;
+        point.profile = run.profile;
         column.techs[tech] = point;
     }
     return column;
@@ -218,6 +227,28 @@ inline void writeDseBenchJson(const DseResults& results, const std::string& benc
         entry["normalizedPerf"] = p.normalized;
         entry["checksumOk"] = p.ok;
         if (!p.error.empty()) entry["error"] = p.error;
+        if (!p.memLatency.empty()) {
+            exp::Json lat = exp::Json::object();
+            for (const auto& [suffix, s] : p.memLatency) {
+                exp::Json one = exp::Json::object();
+                one["count"] = s.count;
+                one["minTicks"] = s.minTicks;
+                one["meanTicks"] = s.meanTicks;
+                one["maxTicks"] = s.maxTicks;
+                lat[suffix] = std::move(one);
+            }
+            entry["memLatency"] = std::move(lat);
+        }
+        if (p.profile != nullptr) {
+            exp::Json buckets = exp::Json::object();
+            for (const auto& b : p.profile->buckets()) {
+                exp::Json one = exp::Json::object();
+                one["seconds"] = b.seconds;
+                one["fraction"] = b.fraction;
+                buckets[b.name] = std::move(one);
+            }
+            entry["profileBuckets"] = std::move(buckets);
+        }
         doc["points"].push(std::move(entry));
     };
     for (const auto& [n, series] : results.ideal) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/observer.hh"
 #include "sim/packet_id.hh"
 #include "sim/ticks.hh"
 
@@ -41,6 +42,15 @@ class Packet {
 public:
     Packet(MemCmd cmd, Addr addr, unsigned size)
         : cmd_(cmd), addr_(addr), size_(size), id_(nextId()) {}
+
+    ~Packet() {
+        // Flow-tracked packets close their trace flow when the requester
+        // finally destroys them. Flag check first: untracked packets (the
+        // universe, when observability is off) pay only this one branch.
+        if (flowTracked_) {
+            if (SimObserver* obs = threadObserver()) obs->packetCompleted(id_);
+        }
+    }
 
     // --- identity ----------------------------------------------------------
     MemCmd cmd() const { return cmd_; }
@@ -121,6 +131,12 @@ public:
     Tick issueTick() const { return issueTick_; }
     void setIssueTick(Tick t) { issueTick_ = t; }
 
+    /// True once an observer has seen this packet's first accepted timing
+    /// send (set by RequestPort::sendTimingReq, cleared if that send was
+    /// rejected). Gates the destructor's packetCompleted() report.
+    bool flowTracked() const { return flowTracked_; }
+    void setFlowTracked(bool tracked) { flowTracked_ = tracked; }
+
     std::string toString() const;
 
 private:
@@ -134,6 +150,7 @@ private:
     unsigned size_;
     std::uint64_t id_;
     RequestorId requestor_ = kInvalidRequestor;
+    bool flowTracked_ = false;
     Tick issueTick_ = 0;
     std::vector<std::uint8_t> data_;
 };

@@ -20,6 +20,7 @@
 
 #include "mem/packet.hh"
 #include "sim/logging.hh"
+#include "sim/observer.hh"
 
 namespace g5r {
 
@@ -103,7 +104,30 @@ inline void RequestPort::bind(ResponsePort& peer) {
 inline bool RequestPort::sendTimingReq(PacketPtr& pkt) {
     simAssert(peer_ != nullptr, "sendTimingReq on unbound port");
     simAssert(pkt != nullptr && pkt->isRequest(), "sendTimingReq needs a request packet");
-    return peer_->recvTimingReq(pkt);
+    SimObserver* obs = threadObserver();
+    if (obs == nullptr) return peer_->recvTimingReq(pkt);
+
+    // Capture identity before the call: on acceptance the peer takes
+    // ownership and pkt is moved-from. A rejected send leaves the packet
+    // untouched (port contract), so un-marking on rejection is safe.
+    const std::uint64_t id = pkt->id();
+    const std::uint64_t addr = pkt->addr();
+    const unsigned size = pkt->size();
+    const bool isRead = pkt->isRead();
+    const bool tracked = pkt->flowTracked();
+    const bool first = !tracked && pkt->needsResponse();
+    if (first) pkt->setFlowTracked(true);
+    const bool accepted = peer_->recvTimingReq(pkt);
+    if (accepted) {
+        if (first) {
+            obs->packetIssued(id, addr, size, isRead);
+        } else if (tracked) {
+            obs->packetForwarded(id);
+        }
+    } else if (first) {
+        pkt->setFlowTracked(false);
+    }
+    return accepted;
 }
 
 inline void RequestPort::sendRespRetry() {
@@ -119,7 +143,14 @@ inline void RequestPort::sendFunctional(Packet& pkt) {
 inline bool ResponsePort::sendTimingResp(PacketPtr& pkt) {
     simAssert(peer_ != nullptr, "sendTimingResp on unbound port");
     simAssert(pkt != nullptr && pkt->isResponse(), "sendTimingResp needs a response packet");
-    return peer_->recvTimingResp(pkt);
+    SimObserver* obs = threadObserver();
+    if (obs == nullptr) return peer_->recvTimingResp(pkt);
+
+    const std::uint64_t id = pkt->id();
+    const bool tracked = pkt->flowTracked();
+    const bool accepted = peer_->recvTimingResp(pkt);
+    if (accepted && tracked) obs->packetResponded(id);
+    return accepted;
 }
 
 inline void ResponsePort::sendReqRetry() {

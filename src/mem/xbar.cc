@@ -48,6 +48,8 @@ Xbar::~Xbar() = default;
 ResponsePort& Xbar::addCpuSidePort(const std::string& suffix) {
     const unsigned idx = static_cast<unsigned>(upPorts_.size());
     upPorts_.push_back(std::make_unique<UpPort>(name() + ".cpu_side." + suffix, *this, idx));
+    latency_.push_back(&stats_.distribution(
+        "latency." + suffix, "round-trip ticks, request accept to response arrival"));
 
     respLayers_.emplace_back();
     Layer& layer = respLayers_.back();
@@ -98,6 +100,7 @@ void Xbar::acceptIntoLayer(Layer& layer, PacketPtr& pkt, unsigned srcIdx,
     layer.busy = true;
     layer.waitingPeer = false;
     layer.srcIdx = srcIdx;
+    layer.acceptTick = curTick();
     // Header latency is pipelined; the layer is occupied for the beats only.
     layer.freeTick = clockEdge(beats);
     bytesRouted_ += payload;
@@ -133,7 +136,7 @@ void Xbar::deliverReq(unsigned dstDown) {
         layer.waitingPeer = true;  // Peer will recvReqRetry -> deliverReq again.
         return;
     }
-    if (wantsRoute) respRoute_[id] = layer.srcIdx;
+    if (wantsRoute) respRoute_[id] = RouteInfo{layer.srcIdx, layer.acceptTick};
 
     if (layer.freeTick <= curTick()) {
         finishReqLayer(dstDown);
@@ -156,7 +159,7 @@ void Xbar::finishReqLayer(unsigned dstDown) {
 bool Xbar::handleResp(unsigned srcDown, PacketPtr& pkt) {
     const auto it = respRoute_.find(pkt->id());
     simAssert(it != respRoute_.end(), "response with no recorded route");
-    const unsigned dstUp = it->second;
+    const unsigned dstUp = it->second.up;
 
     Layer& layer = respLayers_[dstUp];
     if (layer.busy) {
@@ -167,6 +170,7 @@ bool Xbar::handleResp(unsigned srcDown, PacketPtr& pkt) {
         }
         return false;
     }
+    latency_[dstUp]->sample(static_cast<double>(curTick() - it->second.issued));
     respRoute_.erase(it);
     ++respsRouted_;
     acceptIntoLayer(layer, pkt, srcDown, *layer.deliverEvent);

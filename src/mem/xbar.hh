@@ -77,11 +77,20 @@ private:
         bool busy = false;
         bool waitingPeer = false;  ///< Delivery attempted; peer rejected.
         Tick freeTick = 0;
+        Tick acceptTick = 0;  ///< When the occupying packet was accepted.
         PacketPtr pkt;
         unsigned srcIdx = 0;  ///< Where the packet came from (for routing back).
         std::vector<unsigned> retryList;
         std::unique_ptr<CallbackEvent> deliverEvent;
         std::unique_ptr<CallbackEvent> freeEvent;
+    };
+
+    /// Book-keeping for an outstanding request: where its response must be
+    /// switched back to, and when the crossbar accepted the request (the
+    /// zero point of the per-requestor round-trip latency distribution).
+    struct RouteInfo {
+        unsigned up;
+        Tick issued;
     };
 
     unsigned route(Addr addr) const;
@@ -106,12 +115,15 @@ private:
     std::vector<RouteSpec> routes_;
     std::vector<Layer> reqLayers_;   ///< One per downstream port.
     std::vector<Layer> respLayers_;  ///< One per upstream port.
-    std::unordered_map<std::uint64_t, unsigned> respRoute_;  ///< pkt id -> up port.
+    std::unordered_map<std::uint64_t, RouteInfo> respRoute_;  ///< pkt id -> route.
 
     stats::Scalar& reqsRouted_;
     stats::Scalar& respsRouted_;
     stats::Scalar& layerConflicts_;
     stats::Scalar& bytesRouted_;
+    /// Per upstream port: round-trip ticks from request accept to response
+    /// arrival ("latency.<suffix>"), indexed like upPorts_.
+    std::vector<stats::Distribution*> latency_;
 };
 
 }  // namespace g5r

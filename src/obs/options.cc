@@ -1,0 +1,35 @@
+#include "obs/options.hh"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace g5r::obs {
+
+ObsOptions ObsOptions::fromEnv() { return fromEnv(ObsOptions{}); }
+
+ObsOptions ObsOptions::fromEnv(ObsOptions base) {
+    if (const char* env = std::getenv("GEM5RTL_TRACE")) {
+        const std::string_view v{env};
+        if (v.empty() || v == "0") {
+            base.traceEnabled = false;
+        } else {
+            base.traceEnabled = true;
+            if (v != "1") base.traceDir = std::string{v};
+        }
+    }
+    if (const char* env = std::getenv("GEM5RTL_PROFILE")) {
+        const std::string_view v{env};
+        base.profileEnabled = !v.empty() && v != "0";
+    }
+    if (const char* env = std::getenv("GEM5RTL_PROFILE_STRIDE")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1) base.profileStride = static_cast<unsigned>(v);
+    }
+    if (const char* env = std::getenv("GEM5RTL_TRACE_INTERVAL")) {
+        const long long v = std::strtoll(env, nullptr, 10);
+        if (v >= 1) base.counterIntervalTicks = static_cast<Tick>(v);
+    }
+    return base;
+}
+
+}  // namespace g5r::obs

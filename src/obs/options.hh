@@ -1,0 +1,49 @@
+// Configuration for the observability subsystem (src/obs/).
+//
+// Observability is off by default and costs nothing when off (see
+// sim/observer.hh for the cost argument). It is switched on either
+// programmatically — SocConfig carries an ObsOptions — or from the
+// environment:
+//
+//   GEM5RTL_TRACE=1          write <run>.trace.json to the current directory
+//   GEM5RTL_TRACE=<dir>      write it to <dir> (created by the caller)
+//   GEM5RTL_TRACE=0          force tracing off
+//   GEM5RTL_PROFILE=1        per-SimObject host-time profile
+//   GEM5RTL_PROFILE_STRIDE=N time every Nth dispatch (default 1 = all)
+//   GEM5RTL_TRACE_INTERVAL=T counter sample interval in ticks
+#pragma once
+
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace g5r::obs {
+
+struct ObsOptions {
+    /// Emit a Chrome trace-event JSON file (Perfetto-loadable).
+    bool traceEnabled = false;
+
+    /// Directory the trace file is written into ("." = current directory).
+    std::string traceDir = ".";
+
+    /// Attribute host wall time to SimObjects during run().
+    bool profileEnabled = false;
+
+    /// Time every Nth dispatch (>= 1). Dispatch *counts* stay exact; wall
+    /// time is scaled up from the sampled subset, cutting the two
+    /// steady_clock reads per dispatch to two per stride.
+    unsigned profileStride = 1;
+
+    /// Simulated-time interval between counter samples in the trace.
+    Tick counterIntervalTicks = 1'000'000;  // 1 us of simulated time.
+
+    bool anyEnabled() const { return traceEnabled || profileEnabled; }
+
+    /// Overlay the GEM5RTL_* environment variables (see header comment)
+    /// onto @p base. The environment wins where set, so a benchmark run
+    /// can be traced without recompiling or editing its config.
+    static ObsOptions fromEnv(ObsOptions base);
+    static ObsOptions fromEnv();  ///< fromEnv() over all-default options.
+};
+
+}  // namespace g5r::obs

@@ -1,0 +1,194 @@
+#include "obs/session.hh"
+
+#include <atomic>
+
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace g5r::obs {
+
+namespace {
+
+/// File-system-safe run name: non-alphanumerics collapse to '_'.
+std::string sanitize(std::string_view runName) {
+    std::string out;
+    out.reserve(runName.size());
+    for (const char c : runName) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_';
+        out += keep ? c : '_';
+    }
+    return out;
+}
+
+std::string traceFileName(std::string_view runName) {
+    std::string base = sanitize(runName);
+    if (base.empty()) {
+        // Parallel sweeps create many unnamed sessions; give each its own
+        // file rather than corrupting a shared one.
+        static std::atomic<std::uint64_t> counter{0};
+        base = "run" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+    }
+    return base + ".trace.json";
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, LatencySummary>> portLatencies(const stats::Group& group) {
+    std::vector<std::pair<std::string, LatencySummary>> out;
+    static constexpr std::string_view kKey = "latency.";
+    for (const auto& stat : group.all()) {
+        const auto* dist = dynamic_cast<const stats::Distribution*>(stat.get());
+        if (dist == nullptr) continue;
+        const std::string& name = dist->name();
+        const auto pos = name.find(kKey);
+        if (pos == std::string::npos) continue;
+        if (pos != 0 && name[pos - 1] != '.') continue;
+        out.emplace_back(
+            name.substr(pos + kKey.size()),
+            LatencySummary{dist->count(), dist->minValue(), dist->mean(), dist->maxValue()});
+    }
+    return out;
+}
+
+std::unique_ptr<ObsSession> ObsSession::create(Simulation& sim, const ObsOptions& opts,
+                                               std::string_view runName) {
+    if (!opts.anyEnabled()) return nullptr;
+    return std::unique_ptr<ObsSession>(new ObsSession(sim, opts, runName));
+}
+
+ObsSession::ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view runName)
+    : sim_(sim),
+      counterInterval_(opts.counterIntervalTicks),
+      stride_(opts.profileStride ? opts.profileStride : 1),
+      t0_(Clock::now()) {
+    if (opts.profileEnabled) profiler_ = std::make_unique<HostProfiler>(stride_);
+    if (opts.traceEnabled) {
+        std::string path = opts.traceDir.empty() ? std::string{"."} : opts.traceDir;
+        if (path.back() != '/') path += '/';
+        path += traceFileName(runName);
+        trace_ = std::make_unique<TraceSession>(std::move(path));
+    }
+
+    // Slot 0 catches events whose name matches no registered object;
+    // object slots are handed out lazily by slotFor().
+    if (profiler_) profiler_->addSlot("(unattributed)");
+    if (trace_) trace_->threadName(0, "(unattributed)");
+    nextCounterTick_ = sim.curTick();
+    sim.setObserver(this);
+}
+
+ObsSession::~ObsSession() {
+    finish();
+    if (sim_.observer() == this) sim_.setObserver(nullptr);
+}
+
+void ObsSession::addCounter(const stats::Stat& stat) { counters_.push_back(&stat); }
+
+void ObsSession::finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (profiler_) report_ = std::make_shared<const ProfileReport>(profiler_->report());
+    if (trace_) trace_->finish();
+}
+
+int ObsSession::slotFor(const SimObject& obj) {
+    const auto it = slotByObject_.find(&obj);
+    if (it != slotByObject_.end()) return it->second;
+    const int slot = nextSlot_++;
+    slotByObject_.emplace(&obj, slot);
+    if (profiler_) profiler_->addSlot(obj.name());
+    if (trace_) trace_->threadName(slot, obj.name());
+    return slot;
+}
+
+const ObsSession::Owner& ObsSession::resolve(const Event& ev) {
+    const auto it = ownerCache_.find(&ev);
+    if (it != ownerCache_.end()) return it->second;
+
+    // Longest object-name prefix of the event name (on a '.' boundary)
+    // wins, so "system.cpu0.l1d.respond" attributes to the L1D, not the
+    // core. The live object list is consulted (not a snapshot) so objects
+    // created after the session still resolve.
+    const std::string evName = ev.name();
+    const SimObject* best = nullptr;
+    std::size_t bestLen = 0;
+    for (const SimObject* obj : sim_.objects()) {
+        const std::string& objName = obj->name();
+        if (objName.size() < bestLen || evName.size() < objName.size()) continue;
+        if (evName.compare(0, objName.size(), objName) != 0) continue;
+        if (evName.size() > objName.size() && evName[objName.size()] != '.') continue;
+        best = obj;
+        bestLen = objName.size();
+    }
+    const int slot = best != nullptr ? slotFor(*best) : 0;
+    return ownerCache_.emplace(&ev, Owner{slot, evName}).first->second;
+}
+
+void ObsSession::runBegin() { runStart_ = Clock::now(); }
+
+void ObsSession::runEnd() {
+    if (profiler_) {
+        profiler_->addRunSeconds(
+            std::chrono::duration<double>(Clock::now() - runStart_).count());
+    }
+}
+
+void ObsSession::dispatchBegin(const Event& ev, Tick when) {
+    curTick_ = when;
+    const Owner& owner = resolve(ev);
+    curSlot_ = owner.slot;
+    curLabel_ = &owner.label;
+    if (profiler_) profiler_->countDispatch(curSlot_);
+    if (trace_ && !counters_.empty() && when >= nextCounterTick_) sampleCounters(when);
+
+    // Tracing needs every span timed; profiling alone only every Nth.
+    timedThis_ = trace_ != nullptr;
+    if (!timedThis_ && profiler_) {
+        if (++strideCount_ >= stride_) {
+            strideCount_ = 0;
+            timedThis_ = true;
+        }
+    }
+    if (timedThis_) dispatchStart_ = Clock::now();
+}
+
+void ObsSession::dispatchEnd(Tick /*when*/) {
+    if (!timedThis_) return;
+    const Clock::time_point end = Clock::now();
+    const double seconds = std::chrono::duration<double>(end - dispatchStart_).count();
+    if (trace_) {
+        trace_->completeEvent(curSlot_, *curLabel_, "dispatch", relUs(dispatchStart_),
+                              seconds * 1e6, curTick_);
+    }
+    if (profiler_) profiler_->addSample(curSlot_, seconds);
+    timedThis_ = false;
+}
+
+void ObsSession::sampleCounters(Tick when) {
+    const double tsUs = relUs(Clock::now());
+    for (const stats::Stat* stat : counters_) {
+        trace_->counterEvent(stat->name(), tsUs, stat->value());
+    }
+    nextCounterTick_ = when + counterInterval_;
+}
+
+void ObsSession::packetIssued(std::uint64_t id, std::uint64_t /*addr*/, unsigned /*size*/,
+                              bool /*isRead*/) {
+    if (trace_) trace_->flowBegin(id, curSlot_, relUs(Clock::now()));
+}
+
+void ObsSession::packetForwarded(std::uint64_t id) {
+    if (trace_) trace_->flowStep(id, curSlot_, relUs(Clock::now()));
+}
+
+void ObsSession::packetResponded(std::uint64_t id) {
+    if (trace_) trace_->flowStep(id, curSlot_, relUs(Clock::now()));
+}
+
+void ObsSession::packetCompleted(std::uint64_t id) {
+    if (trace_) trace_->flowEnd(id, curSlot_, relUs(Clock::now()));
+}
+
+}  // namespace g5r::obs

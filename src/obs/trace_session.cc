@@ -1,0 +1,168 @@
+#include "obs/trace_session.hh"
+
+#include <cstdio>
+
+namespace g5r::obs {
+
+namespace {
+
+constexpr int kPid = 1;  // One simulated system per trace file.
+
+/// Fixed-point microseconds: Perfetto wants monotone numeric ts values;
+/// three decimals keeps nanosecond resolution without float noise.
+void appendUs(std::string& out, double us) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", us);
+    out += buf;
+}
+
+void appendDouble(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+}  // namespace
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+    out_.open(path_, std::ios::out | std::ios::trunc);
+    if (!out_.good()) return;  // ok_ stays false; every emit is a no-op.
+    out_ << "{\"traceEvents\":[\n";
+    ok_ = out_.good();
+}
+
+TraceSession::~TraceSession() { finish(); }
+
+void TraceSession::appendEscaped(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void TraceSession::emit(const std::string& line) {
+    if (!ok_ || finished_) return;
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << line;
+    if (!out_.good()) ok_ = false;  // Disk full etc: stop, don't throw.
+    ++events_;
+}
+
+void TraceSession::completeEvent(int tid, std::string_view name, std::string_view cat,
+                                 double tsUs, double durUs, Tick tick) {
+    if (!ok_ || finished_) return;
+    std::string line;
+    line.reserve(128 + name.size());
+    line += "{\"ph\":\"X\",\"pid\":";
+    line += std::to_string(kPid);
+    line += ",\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"ts\":";
+    appendUs(line, tsUs);
+    line += ",\"dur\":";
+    appendUs(line, durUs);
+    line += ",\"name\":";
+    appendEscaped(line, name);
+    line += ",\"cat\":";
+    appendEscaped(line, cat);
+    line += ",\"args\":{\"tick\":";
+    line += std::to_string(tick);
+    line += "}}";
+    emit(line);
+    if (ok_) ++spans_;
+}
+
+void TraceSession::counterEvent(std::string_view name, double tsUs, double value) {
+    if (!ok_ || finished_) return;
+    std::string line;
+    line.reserve(96 + name.size());
+    line += "{\"ph\":\"C\",\"pid\":";
+    line += std::to_string(kPid);
+    line += ",\"tid\":0,\"ts\":";
+    appendUs(line, tsUs);
+    line += ",\"name\":";
+    appendEscaped(line, name);
+    line += ",\"cat\":\"counter\",\"args\":{\"value\":";
+    appendDouble(line, value);
+    line += "}}";
+    emit(line);
+}
+
+namespace {
+
+std::string flowEvent(char ph, std::uint64_t id, int tid, double tsUs, bool bindEnclosing) {
+    std::string line;
+    line.reserve(96);
+    line += "{\"ph\":\"";
+    line += ph;
+    line += "\",\"pid\":";
+    line += std::to_string(kPid);
+    line += ",\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"ts\":";
+    appendUs(line, tsUs);
+    line += ",\"name\":\"pkt\",\"cat\":\"packet\",\"id\":";
+    line += std::to_string(id);
+    if (bindEnclosing) line += ",\"bp\":\"e\"";
+    line += "}";
+    return line;
+}
+
+}  // namespace
+
+void TraceSession::flowBegin(std::uint64_t id, int tid, double tsUs) {
+    if (!ok_ || finished_) return;
+    emit(flowEvent('s', id, tid, tsUs, false));
+}
+
+void TraceSession::flowStep(std::uint64_t id, int tid, double tsUs) {
+    if (!ok_ || finished_) return;
+    emit(flowEvent('t', id, tid, tsUs, false));
+}
+
+void TraceSession::flowEnd(std::uint64_t id, int tid, double tsUs) {
+    if (!ok_ || finished_) return;
+    emit(flowEvent('f', id, tid, tsUs, true));
+}
+
+void TraceSession::threadName(int tid, std::string_view name) {
+    if (!ok_ || finished_) return;
+    std::string line;
+    line.reserve(96 + name.size());
+    line += "{\"ph\":\"M\",\"pid\":";
+    line += std::to_string(kPid);
+    line += ",\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    appendEscaped(line, name);
+    line += "}}";
+    emit(line);
+}
+
+void TraceSession::finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!ok_) return;
+    out_ << "\n]}\n";
+    out_.flush();
+    if (!out_.good()) ok_ = false;
+    out_.close();
+}
+
+}  // namespace g5r::obs

@@ -1,0 +1,85 @@
+// Streaming writer for the Chrome trace-event "JSON Array Format", the
+// on-disk format both chrome://tracing and Perfetto load directly.
+//
+// The document is {"traceEvents": [...]}; each event is one compact JSON
+// object appended to the open file as it happens, so a multi-second sweep
+// never buffers its trace in memory. finish() closes the array; an
+// unfinished file (crashed run) is still salvageable because the viewers
+// tolerate a truncated array tail.
+//
+// Event vocabulary used here (ph field):
+//   "X"  complete event: a span with ts + dur (one per event dispatch)
+//   "C"  counter sample
+//   "s"/"t"/"f"  flow start / step / end (packet lifecycle arrows)
+//   "M"  metadata (thread_name: labels a tid track with a SimObject name)
+//
+// Timestamps are host microseconds relative to the session start. The
+// simulated tick of each span rides along in args.tick.
+//
+// A TraceSession whose file cannot be opened reports ok() == false and
+// turns every emit into a no-op — observability must never kill a run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "sim/ticks.hh"
+
+namespace g5r::obs {
+
+class TraceSession {
+public:
+    /// Opens @p path for writing and emits the document prefix.
+    explicit TraceSession(std::string path);
+    ~TraceSession();
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    /// False when the file could not be opened (or a write failed); all
+    /// emit calls are silently dropped in that state.
+    bool ok() const { return ok_; }
+    const std::string& path() const { return path_; }
+
+    /// ph "X": a span of host time [tsUs, tsUs+durUs) on track @p tid.
+    void completeEvent(int tid, std::string_view name, std::string_view cat,
+                       double tsUs, double durUs, Tick tick);
+
+    /// ph "C": named counter sampled at @p tsUs.
+    void counterEvent(std::string_view name, double tsUs, double value);
+
+    /// ph "s"/"t"/"f": one packet-lifecycle flow, keyed by packet id. The
+    /// end event carries bp:"e" so the arrow binds to its enclosing span.
+    void flowBegin(std::uint64_t id, int tid, double tsUs);
+    void flowStep(std::uint64_t id, int tid, double tsUs);
+    void flowEnd(std::uint64_t id, int tid, double tsUs);
+
+    /// ph "M" thread_name: label track @p tid (call once per track).
+    void threadName(int tid, std::string_view name);
+
+    /// Close the traceEvents array and the file. Idempotent; also run by
+    /// the destructor.
+    void finish();
+
+    /// Number of "X" span events emitted (round-trip tested against the
+    /// event queue's dispatch count).
+    std::uint64_t spansWritten() const { return spans_; }
+
+    /// Total events of any kind emitted.
+    std::uint64_t eventsWritten() const { return events_; }
+
+private:
+    void emit(const std::string& line);
+    static void appendEscaped(std::string& out, std::string_view s);
+
+    std::string path_;
+    std::ofstream out_;
+    bool ok_ = false;
+    bool finished_ = false;
+    bool first_ = true;
+    std::uint64_t spans_ = 0;
+    std::uint64_t events_ = 0;
+};
+
+}  // namespace g5r::obs

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/observer.hh"
 
 namespace g5r {
 
@@ -94,7 +95,15 @@ void EventQueue::serviceOne() {
     ++ev.generation_;
     --liveEvents_;
     ++numProcessed_;
-    ev.process();
+    if (observer_ == nullptr) {
+        ev.process();
+    } else {
+        // The observer must cache what it needs at dispatchBegin(): the
+        // handler may legally destroy its own event.
+        observer_->dispatchBegin(ev, curTick_);
+        ev.process();
+        observer_->dispatchEnd(curTick_);
+    }
 }
 
 }  // namespace g5r

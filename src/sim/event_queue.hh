@@ -11,6 +11,8 @@
 
 namespace g5r {
 
+class SimObserver;
+
 class EventQueue {
 public:
     EventQueue() = default;
@@ -45,6 +47,12 @@ public:
     /// Number of currently scheduled events.
     std::uint64_t numPending() const { return liveEvents_; }
 
+    /// Observer wrapped around every dispatch (nullptr = off, the fast
+    /// path: one predictable branch per event). Installed by
+    /// Simulation::setObserver().
+    void setObserver(SimObserver* observer) { observer_ = observer; }
+    SimObserver* observer() const { return observer_; }
+
 private:
     struct Entry {
         Tick when;
@@ -60,6 +68,7 @@ private:
     void popStale();
 
     std::vector<Entry> heap_;
+    SimObserver* observer_ = nullptr;
     Tick curTick_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t numProcessed_ = 0;

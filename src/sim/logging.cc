@@ -7,13 +7,16 @@
 #include <utility>
 
 namespace g5r {
+
+namespace detail {
+std::atomic<int> debugTraceState{-1};
+}  // namespace detail
+
 namespace {
 
-std::set<std::string, std::less<>> parseDebugFlags() {
+std::set<std::string, std::less<>> parseDebugSpec(std::string_view spec) {
     std::set<std::string, std::less<>> flags;
-    const char* env = std::getenv("G5R_DEBUG");
-    if (!env) return flags;
-    std::string_view rest{env};
+    std::string_view rest{spec};
     while (!rest.empty()) {
         const auto comma = rest.find(',');
         const auto item = rest.substr(0, comma);
@@ -24,9 +27,14 @@ std::set<std::string, std::less<>> parseDebugFlags() {
     return flags;
 }
 
-const std::set<std::string, std::less<>>& debugFlags() {
-    static const auto flags = parseDebugFlags();
-    return flags;
+// Written under initOnce / by setDebugFlags(); read only when
+// debugTraceState says tracing is active.
+std::set<std::string, std::less<>> debugFlagSet;
+std::once_flag debugInitOnce;
+
+void installDebugFlags(std::set<std::string, std::less<>> flags) {
+    debugFlagSet = std::move(flags);
+    detail::debugTraceState.store(debugFlagSet.empty() ? 0 : 1, std::memory_order_release);
 }
 
 std::mutex logMutex;
@@ -59,10 +67,24 @@ std::string formatPanicMessage(std::string_view msg, const std::source_location&
     panicImpl(msg, loc);
 }
 
+bool detail::debugTracingSlow() {
+    std::call_once(debugInitOnce, [] {
+        const char* env = std::getenv("G5R_DEBUG");
+        installDebugFlags(parseDebugSpec(env ? env : ""));
+    });
+    return debugTraceState.load(std::memory_order_relaxed) != 0;
+}
+
+void setDebugFlags(std::string_view spec) {
+    // Claim the one-time init so a later first dtrace() can't clobber this
+    // explicit configuration with the environment's.
+    std::call_once(debugInitOnce, [] {});
+    installDebugFlags(parseDebugSpec(spec));
+}
+
 bool debugFlagEnabled(std::string_view flag) {
-    const auto& flags = debugFlags();
-    if (flags.empty()) return false;
-    return flags.count("all") > 0 || flags.count(flag) > 0;
+    if (!detail::debugTracingActive()) return false;
+    return debugFlagSet.count("all") > 0 || debugFlagSet.count(flag) > 0;
 }
 
 void debugPrint(std::string_view flag, const std::string& msg) {

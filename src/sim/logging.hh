@@ -6,6 +6,7 @@
 // variable (comma-separated flag names, or "all").
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <source_location>
@@ -35,8 +36,31 @@ simAssert(bool cond, std::string_view what,
     if (!cond) panicImpl(what, loc);
 }
 
-/// True when the named debug flag was enabled via G5R_DEBUG.
+/// True when the named debug flag was enabled via G5R_DEBUG (or a later
+/// setDebugFlags() call).
 bool debugFlagEnabled(std::string_view flag);
+
+/// Replace the active debug-flag set with @p spec (same comma-separated
+/// syntax as G5R_DEBUG; "" disables all tracing). Overrides the environment.
+/// Not safe to call while other threads are actively tracing — intended for
+/// setup code and tests.
+void setDebugFlags(std::string_view spec);
+
+namespace detail {
+/// Tri-state tracing gate: -1 = G5R_DEBUG not yet parsed, 0 = no flags
+/// enabled, 1 = at least one flag enabled. Once resolved, the dtrace()
+/// disabled path is a single relaxed atomic load — no lock, no magic-static
+/// guard, no set lookup.
+extern std::atomic<int> debugTraceState;
+
+/// Parse G5R_DEBUG exactly once (thread-safe) and resolve the gate.
+bool debugTracingSlow();
+
+inline bool debugTracingActive() {
+    const int s = debugTraceState.load(std::memory_order_relaxed);
+    return s >= 0 ? s != 0 : debugTracingSlow();
+}
+}  // namespace detail
 
 /// Emit one debug-trace line (already formatted) for the given flag.
 /// The whole line is built first and written with a single locked write,
@@ -79,8 +103,11 @@ std::string strCat(const Parts&... parts) {
 }
 
 /// Debug-trace with lazy formatting: only builds the string when enabled.
+/// With tracing fully off (the production case) the cost is one relaxed
+/// atomic load and a branch; no flag-name lookup happens.
 template <typename... Parts>
 void dtrace(std::string_view flag, const Parts&... parts) {
+    if (!detail::debugTracingActive()) return;
     if (debugFlagEnabled(flag)) debugPrint(flag, strCat(parts...));
 }
 

@@ -2,7 +2,9 @@
 
 #include <ostream>
 
+#include "exp/json.hh"
 #include "sim/logging.hh"
+#include "sim/observer.hh"
 #include "sim/packet_id.hh"
 #include "sim/sim_object.hh"
 
@@ -22,11 +24,21 @@ void Simulation::exitSimLoop(std::string reason) {
     exitMessage_ = std::move(reason);
 }
 
+void Simulation::setObserver(SimObserver* observer) {
+    simAssert(observer == nullptr || observer_ == nullptr || observer == observer_,
+              "a different observer is already attached to this Simulation");
+    observer_ = observer;
+    queue_.setObserver(observer);
+}
+
 RunResult Simulation::run(Tick maxTick) {
     // All packets built while this simulation's events execute draw their
     // IDs from this instance, not a process-wide counter, so the stream is
-    // identical whether one or many simulations share the process.
+    // identical whether one or many simulations share the process. The
+    // observer rides the same thread-local mechanism so the port layer can
+    // report packet lifecycles without a back-pointer to the Simulation.
     const PacketIdScope idScope{packetIdCounter_};
+    const ObserverScope obsScope{observer_};
     if (!initialized_) {
         initialized_ = true;
         for (SimObject* obj : objects_) obj->init();
@@ -35,6 +47,13 @@ RunResult Simulation::run(Tick maxTick) {
     exitRequested_ = false;
     exitMessage_.clear();
 
+    if (observer_ != nullptr) observer_->runBegin();
+    const RunResult result = runLoop(maxTick);
+    if (observer_ != nullptr) observer_->runEnd();
+    return result;
+}
+
+RunResult Simulation::runLoop(Tick maxTick) {
     while (!queue_.empty()) {
         if (queue_.nextTick() > maxTick) {
             return RunResult{ExitCause::kMaxTickReached, maxTick, {}};
@@ -49,6 +68,14 @@ RunResult Simulation::run(Tick maxTick) {
 
 void Simulation::dumpStats(std::ostream& os) const {
     for (const SimObject* obj : objects_) obj->statsGroup().dump(os);
+}
+
+exp::Json Simulation::dumpStatsJson() const {
+    exp::Json doc = exp::Json::object();
+    for (const SimObject* obj : objects_) {
+        doc[obj->statsGroup().prefix()] = obj->statsGroup().dumpJson();
+    }
+    return doc;
 }
 
 const stats::Stat* Simulation::findStat(std::string_view fullName) const {

@@ -14,6 +14,8 @@
 namespace g5r {
 
 class SimObject;
+class SimObserver;
+namespace exp { class Json; }
 namespace stats { class Stat; }
 
 /// Why the event loop returned.
@@ -51,6 +53,18 @@ public:
     /// Dump every registered object's statistics.
     void dumpStats(std::ostream& os) const;
 
+    /// The same snapshot as a machine-readable JSON document: one member
+    /// per object (keyed by its name), each a stats::Group::dumpJson()
+    /// object. Shares the BENCH_*.json document model (exp/json.hh).
+    exp::Json dumpStatsJson() const;
+
+    /// Attach an observability hook (src/obs/ObsSession) — or nullptr to
+    /// detach. The observer sees every dispatch and packet of subsequent
+    /// run() calls; with none attached the loop runs on its historical
+    /// fast path.
+    void setObserver(SimObserver* observer);
+    SimObserver* observer() const { return observer_; }
+
     /// Look up a stat by fully-qualified name ("cpu0.committedInsts").
     const stats::Stat* findStat(std::string_view fullName) const;
 
@@ -62,7 +76,10 @@ public:
     std::uint64_t& packetIdCounter() { return packetIdCounter_; }
 
 private:
+    RunResult runLoop(Tick maxTick);
+
     EventQueue queue_;
+    SimObserver* observer_ = nullptr;
     std::vector<SimObject*> objects_;
     std::uint64_t packetIdCounter_ = 0;
     bool initialized_ = false;

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "exp/json.hh"
+
 namespace g5r::stats {
 
 std::string Group::qualify(std::string_view name) const {
@@ -47,6 +49,31 @@ void Group::dump(std::ostream& os) const {
         os << std::left << std::setw(48) << s->name() << ' '
            << std::right << std::setw(16) << s->value() << "  # " << s->desc() << '\n';
     }
+}
+
+exp::Json Group::dumpJson() const {
+    exp::Json doc = exp::Json::object();
+    for (const auto& s : stats_) {
+        // Stat names are fully qualified; strip "<prefix>." so the JSON
+        // nests naturally under a member keyed by the group prefix.
+        std::string_view rel = s->name();
+        if (!prefix_.empty() && rel.size() > prefix_.size() &&
+            rel.substr(0, prefix_.size()) == prefix_ && rel[prefix_.size()] == '.') {
+            rel.remove_prefix(prefix_.size() + 1);
+        }
+        if (const auto* dist = dynamic_cast<const Distribution*>(s.get())) {
+            exp::Json d = exp::Json::object();
+            d["count"] = dist->count();
+            d["min"] = dist->minValue();
+            d["mean"] = dist->mean();
+            d["max"] = dist->maxValue();
+            d["stddev"] = dist->stddev();
+            doc[rel] = std::move(d);
+        } else {
+            doc[rel] = s->value();
+        }
+    }
+    return doc;
 }
 
 void Group::resetAll() {

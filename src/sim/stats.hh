@@ -7,6 +7,7 @@
 // exactly what the Fig. 5 interval-dump machinery needs.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -15,6 +16,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace g5r {
+namespace exp { class Json; }
+}  // namespace g5r
 
 namespace g5r::stats {
 
@@ -71,42 +76,52 @@ private:
 };
 
 /// Running distribution: min/max/mean/stddev of sampled values.
+///
+/// Moments accumulate with Welford's online algorithm. The naive
+/// sum-of-squares form cancels catastrophically once samples carry a large
+/// common offset (e.g. latencies measured in absolute ticks late in a long
+/// run): sumSq/n and mean² agree in their leading digits and the subtraction
+/// can even go negative. Welford tracks the centered second moment directly,
+/// so variance stays accurate and non-negative regardless of offset.
 class Distribution final : public Stat {
 public:
     using Stat::Stat;
 
     void sample(double v) {
         ++count_;
-        sum_ += v;
-        sumSq_ += v * v;
+        const double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
         if (v < min_) min_ = v;
         if (v > max_) max_ = v;
     }
 
     std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
+
+    /// Population variance (divide by n, matching the historical behavior).
     double variance() const {
         if (count_ < 2) return 0.0;
-        const double m = mean();
-        return sumSq_ / static_cast<double>(count_) - m * m;
+        return m2_ / static_cast<double>(count_);
     }
+    double stddev() const { return std::sqrt(variance()); }
 
     /// The headline value of a distribution is its mean.
     double value() const override { return mean(); }
 
     void reset() override {
         count_ = 0;
-        sum_ = sumSq_ = 0.0;
+        mean_ = m2_ = 0.0;
         min_ = std::numeric_limits<double>::max();
         max_ = std::numeric_limits<double>::lowest();
     }
 
 private:
     std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double sumSq_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;  ///< Sum of squared deviations from the running mean.
     double min_ = std::numeric_limits<double>::max();
     double max_ = std::numeric_limits<double>::lowest();
 };
@@ -128,6 +143,14 @@ public:
     const Stat* find(std::string_view name) const;
 
     void dump(std::ostream& os) const;
+
+    /// The same snapshot as a JSON object keyed by stat name relative to
+    /// this group's prefix. Scalars and formulas become numbers;
+    /// distributions become {count, min, mean, max, stddev} objects. The
+    /// text dump() above is unchanged (and byte-identical) — this is a
+    /// parallel machine-readable view for BENCH_*.json-style consumers.
+    exp::Json dumpJson() const;
+
     void resetAll();
 
     const std::vector<std::unique_ptr<Stat>>& all() const { return stats_; }

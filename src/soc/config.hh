@@ -18,6 +18,7 @@
 #include "mem/cache/cache.hh"
 #include "mem/dram_configs.hh"
 #include "mem/xbar.hh"
+#include "obs/options.hh"
 
 namespace g5r {
 
@@ -40,6 +41,11 @@ struct SocConfig {
     /// construction and panic on error-severity findings (miswired ports,
     /// ambiguous routes). Purely structural — no simulation cost.
     bool elaborationLint = true;
+
+    /// Observability (src/obs/): Perfetto tracing and host-time profiling.
+    /// Off by default; the GEM5RTL_TRACE / GEM5RTL_PROFILE environment
+    /// variables overlay these at Soc construction (ObsOptions::fromEnv).
+    obs::ObsOptions obs;
 
     CacheParams l1iParams() const {
         CacheParams p;

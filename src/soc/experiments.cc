@@ -20,6 +20,7 @@ PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
     Simulation sim;
     SocConfig socCfg = table1Config(config.memTech);
     socCfg.numCores = config.numCores;
+    socCfg.obs = config.obs;
     Soc soc{sim, socCfg};
 
     // Workload: the three sorting kernels with sleeps, on core 0.
@@ -63,6 +64,10 @@ PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
     result.finalTick = run.tick;
     result.committedInsts = soc.core(0).committedInstructions();
     result.cycles = soc.core(0).cyclesRetired();
+    if (obs::ObsSession* obsSession = soc.observability()) {
+        obsSession->finish();
+        result.profile = obsSession->profileReport();
+    }
 
     if (observer != nullptr) {
         result.rawSamples = observer->samples();
@@ -105,6 +110,7 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
     Simulation sim;
     SocConfig socCfg = table1Config(config.memTech);
     socCfg.numCores = config.numCores;
+    socCfg.obs = config.obs;
     Soc soc{sim, socCfg};
 
     struct Instance {
@@ -170,6 +176,14 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         const auto* dist = dynamic_cast<const stats::Distribution*>(
             instances[0].rtl->statsGroup().find("outstanding"));
         if (dist != nullptr) result.avgOutstanding = dist->mean();
+    }
+    result.memLatency = obs::portLatencies(soc.memBus().statsGroup());
+    if (obs::ObsSession* obsSession = soc.observability()) {
+        obsSession->finish();
+        result.profile = obsSession->profileReport();
+        if (obsSession->trace() != nullptr && obsSession->trace()->ok()) {
+            result.tracePath = obsSession->trace()->path();
+        }
     }
     return result;
 }

@@ -6,13 +6,16 @@
 // points.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/workloads.hh"
 #include "mem/dram_configs.hh"
 #include "models/nvdla/trace.hh"
+#include "obs/session.hh"
 #include "soc/config.hh"
 #include "soc/pmu_observer.hh"
 
@@ -28,6 +31,7 @@ struct PmuRunConfig {
     MemTech memTech = MemTech::kDdr4_1ch;
     unsigned numCores = 8;
     Tick maxTicks = 200'000'000'000ULL;     ///< Safety net (200 ms simulated).
+    obs::ObsOptions obs;                    ///< Tracing/profiling for this run.
 };
 
 struct PmuInterval {
@@ -46,6 +50,7 @@ struct PmuRunResult {
     std::vector<PmuInterval> intervals;
     std::vector<PmuObserver::Sample> rawSamples;
     double maxAbsIpcError = 0;  ///< max |pmuIpc - gem5Ipc| over intervals.
+    std::shared_ptr<const obs::ProfileReport> profile;  ///< When profiling on.
 };
 
 /// Run the three-kernel sort benchmark with (or without) the PMU attached.
@@ -63,6 +68,7 @@ struct DseRunConfig {
     bool sramScratchpad = false;            ///< Weights via a SRAMIF scratchpad
                                             ///< (the paper's proposed extension).
     Tick maxTicks = 2'000'000'000'000ULL;   ///< 2 s simulated safety net.
+    obs::ObsOptions obs;                    ///< Tracing/profiling for this run.
 };
 
 struct DseRunResult {
@@ -71,6 +77,14 @@ struct DseRunResult {
     Tick runtimeTicks = 0;       ///< Until the last accelerator finished.
     std::vector<Tick> perAcceleratorTicks;
     double avgOutstanding = 0;   ///< Mean outstanding requests (accelerator 0).
+
+    /// Per-master round-trip latency on the memory bus ("latency.<suffix>"
+    /// distributions), always collected — the Xbar maintains them whether
+    /// or not observability is on.
+    std::vector<std::pair<std::string, obs::LatencySummary>> memLatency;
+
+    std::shared_ptr<const obs::ProfileReport> profile;  ///< When profiling on.
+    std::string tracePath;                              ///< When tracing on.
 };
 
 /// One point of the design-space exploration: N accelerators, one memory

@@ -129,6 +129,22 @@ Soc::Soc(Simulation& sim, const SocConfig& config) : sim_(sim), config_(config) 
             panicStream(os.str());
         }
     }
+
+    // Observability last, once the topology exists. The thread's run label
+    // (set by the parallel experiment runner) names the trace file, so
+    // concurrent sweep points each write their own file.
+    obs_ = obs::ObsSession::create(sim_, obs::ObsOptions::fromEnv(config_.obs),
+                                   logRunLabel());
+    if (obs_ != nullptr) {
+        for (const char* statName : {"reqsRouted", "respsRouted", "layerConflicts"}) {
+            if (const auto* s = systemXbar_->statsGroup().find(statName)) {
+                obs_->addCounter(*s);
+            }
+            if (const auto* s = memBus_->statsGroup().find(statName)) {
+                obs_->addCounter(*s);
+            }
+        }
+    }
 }
 
 lint::Report Soc::elaborationLint() const {
@@ -191,6 +207,9 @@ RtlObject& Soc::attachRtlModel(const std::string& name, std::unique_ptr<RtlModel
                 sim_, "system." + name + ".scratchpad", sp, *pad.store);
             obj.memSidePort(1).bind(pad.mem->port());
         }
+    }
+    if (obs_ != nullptr) {
+        if (const auto* s = obj.statsGroup().find("outstanding")) obs_->addCounter(*s);
     }
     return obj;
 }

@@ -28,6 +28,7 @@
 #include "mem/dram.hh"
 #include "mem/simple_mem.hh"
 #include "mem/xbar.hh"
+#include "obs/session.hh"
 #include "soc/config.hh"
 
 namespace g5r {
@@ -80,6 +81,11 @@ public:
     /// Peak DRAM bandwidth (0 for the ideal-memory configuration).
     double memPeakBandwidth() const;
 
+    /// The observability session created from SocConfig::obs (plus the
+    /// GEM5RTL_* environment), or nullptr when fully disabled. Callers
+    /// finish() it after run() to flush the trace and build the profile.
+    obs::ObsSession* observability() { return obs_.get(); }
+
     /// Static analysis over the assembled interconnect: unbound crossbar
     /// ports, overlapping/shadowed routes, uncovered memory. Runs
     /// automatically (strict: errors panic) at the end of construction when
@@ -116,6 +122,10 @@ private:
 
     unsigned runningCores_ = 0;
     unsigned attachedModels_ = 0;
+
+    /// Last member: detaches from the simulation and flushes its trace
+    /// before any of the observed objects go away.
+    std::unique_ptr<obs::ObsSession> obs_;
 };
 
 }  // namespace g5r

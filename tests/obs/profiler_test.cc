@@ -1,0 +1,146 @@
+// HostProfiler: bucket classification, stride scaling, report invariants.
+#include <gtest/gtest.h>
+
+#include "exp/json.hh"
+#include "obs/profiler.hh"
+
+namespace g5r::obs {
+namespace {
+
+TEST(ClassifyBucket, MemoryTermsWinOverCoreAndRtl) {
+    // "system.cpu0.l1d" contains both a core term and a memory term; the
+    // memory system owns the caches.
+    EXPECT_EQ(classifyBucket("system.cpu0.l1d"), "memory");
+    EXPECT_EQ(classifyBucket("system.cpu0.l2"), "memory");
+    EXPECT_EQ(classifyBucket("system.membus"), "memory");
+    EXPECT_EQ(classifyBucket("system.noc"), "memory");
+    EXPECT_EQ(classifyBucket("system.llc3"), "memory");
+    EXPECT_EQ(classifyBucket("system.mem0.ch0"), "memory");
+    EXPECT_EQ(classifyBucket("system.nvdla0.scratchpad"), "memory");
+}
+
+TEST(ClassifyBucket, RtlAndCoreAndOther) {
+    EXPECT_EQ(classifyBucket("system.nvdla0"), "rtl");
+    EXPECT_EQ(classifyBucket("system.pmu0"), "rtl");
+    EXPECT_EQ(classifyBucket("system.bitonic0"), "rtl");
+    EXPECT_EQ(classifyBucket("system.cpu3"), "core");
+    EXPECT_EQ(classifyBucket("system.host0"), "core");
+    EXPECT_EQ(classifyBucket("(unattributed)"), "other");
+    EXPECT_EQ(classifyBucket("system.widget"), "other");
+}
+
+TEST(HostProfiler, StrideScalesSampledSecondsToAllDispatches) {
+    HostProfiler p{4};
+    const int slot = p.addSlot("system.nvdla0");
+    for (int i = 0; i < 8; ++i) p.countDispatch(slot);
+    // With stride 4 only 2 of the 8 dispatches were actually timed.
+    p.addSample(slot, 0.010);
+    p.addSample(slot, 0.010);
+    p.addRunSeconds(0.100);
+
+    const ProfileReport rep = p.report();
+    EXPECT_EQ(rep.stride, 4u);
+    EXPECT_EQ(rep.dispatches, 8u);
+    ASSERT_EQ(rep.entries.size(), 1u);
+    const ProfileEntry& e = rep.entries[0];
+    EXPECT_EQ(e.dispatches, 8u);
+    EXPECT_EQ(e.sampled, 2u);
+    EXPECT_DOUBLE_EQ(e.sampledSeconds, 0.020);
+    // 0.020 s over 2 samples, scaled to 8 dispatches -> 0.080 s.
+    EXPECT_NEAR(e.estimatedSeconds, 0.080, 1e-12);
+}
+
+TEST(HostProfiler, ZeroStrideIsTreatedAsOne) {
+    HostProfiler p{0};
+    EXPECT_EQ(p.stride(), 1u);
+}
+
+TEST(HostProfiler, BucketsAlwaysSumToRunSeconds) {
+    HostProfiler p{1};
+    const int rtl = p.addSlot("system.nvdla0");
+    const int mem = p.addSlot("system.membus");
+    p.countDispatch(rtl);
+    p.addSample(rtl, 0.30);
+    p.countDispatch(mem);
+    p.addSample(mem, 0.20);
+    p.addRunSeconds(1.00);
+
+    const ProfileReport rep = p.report();
+    const auto buckets = rep.buckets();
+    ASSERT_EQ(buckets.size(), 5u);  // rtl, memory, core, other, queue.
+    EXPECT_EQ(buckets[0].name, "rtl");
+    EXPECT_EQ(buckets[4].name, "queue");
+    double total = 0.0;
+    double fractions = 0.0;
+    for (const auto& b : buckets) {
+        total += b.seconds;
+        fractions += b.fraction;
+    }
+    EXPECT_NEAR(total, 1.00, 1e-12);
+    EXPECT_NEAR(fractions, 1.0, 1e-12);
+    EXPECT_NEAR(buckets[0].seconds, 0.30, 1e-12);   // rtl
+    EXPECT_NEAR(buckets[1].seconds, 0.20, 1e-12);   // memory
+    EXPECT_NEAR(buckets[4].seconds, 0.50, 1e-12);   // queue remainder
+}
+
+TEST(HostProfiler, QueueBucketClampsAtZeroWhenSamplingOverEstimates) {
+    HostProfiler p{1};
+    const int slot = p.addSlot("system.nvdla0");
+    p.countDispatch(slot);
+    p.addSample(slot, 2.0);   // Attributed more than the run took.
+    p.addRunSeconds(1.0);
+    const auto buckets = p.report().buckets();
+    EXPECT_DOUBLE_EQ(buckets.back().seconds, 0.0);
+}
+
+TEST(HostProfiler, EntriesSortedByEstimatedSecondsDescending) {
+    HostProfiler p{1};
+    const int small = p.addSlot("system.a");
+    const int big = p.addSlot("system.b");
+    const int idle = p.addSlot("system.never-dispatched");
+    (void)idle;
+    p.countDispatch(small);
+    p.addSample(small, 0.1);
+    p.countDispatch(big);
+    p.addSample(big, 0.9);
+
+    const ProfileReport rep = p.report();
+    // The never-dispatched slot is dropped from the report entirely.
+    ASSERT_EQ(rep.entries.size(), 2u);
+    EXPECT_EQ(rep.entries[0].name, "system.b");
+    EXPECT_EQ(rep.entries[1].name, "system.a");
+}
+
+TEST(HostProfiler, ReportSerializesToParsableJson) {
+    HostProfiler p{2};
+    const int slot = p.addSlot("system.membus");
+    p.countDispatch(slot);
+    p.countDispatch(slot);
+    p.addSample(slot, 0.004);
+    p.addRunSeconds(0.010);
+
+    const exp::Json doc = exp::Json::parse(p.report().toJson().dump());
+    EXPECT_DOUBLE_EQ(doc.at("runSeconds").asDouble(), 0.010);
+    EXPECT_EQ(doc.at("dispatches").asInt(), 2);
+    EXPECT_EQ(doc.at("stride").asInt(), 2);
+    EXPECT_TRUE(doc.at("buckets").contains("memory"));
+    EXPECT_TRUE(doc.at("buckets").contains("queue"));
+    ASSERT_EQ(doc.at("objects").size(), 1u);
+    EXPECT_EQ(doc.at("objects").items()[0].at("name").asString(), "system.membus");
+}
+
+TEST(HostProfiler, TableMentionsBucketsAndObjects) {
+    HostProfiler p{1};
+    const int slot = p.addSlot("system.nvdla0");
+    p.countDispatch(slot);
+    p.addSample(slot, 0.5);
+    p.addRunSeconds(1.0);
+    const std::string table = p.report().table();
+    EXPECT_NE(table.find("rtl"), std::string::npos);
+    EXPECT_NE(table.find("queue"), std::string::npos);
+    EXPECT_NE(table.find("system.nvdla0"), std::string::npos);
+    EXPECT_NE(table.find("stride 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g5r::obs

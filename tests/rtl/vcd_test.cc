@@ -1,0 +1,62 @@
+// VcdWriter failure paths: unwritable files and runtime-disabled tracing
+// must never throw or write, mirroring how Table 2 toggles waveforms.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "rtl/kernel.hh"
+#include "rtl/vcd.hh"
+
+namespace g5r::rtl {
+namespace {
+
+class TinyDesign final : public Module {
+public:
+    TinyDesign() : Module("tiny"), count(*this, "count", 8) {}
+    void evalComb() override { count.setD(static_cast<std::uint8_t>(count.q() + 1)); }
+
+    Reg<std::uint8_t> count;
+};
+
+TEST(VcdWriter, UnwritablePathReportsNotOkWithoutThrowing) {
+    TinyDesign top;
+    VcdWriter vcd{"/nonexistent-g5r-dir/sub/wave.vcd", top};
+    EXPECT_FALSE(vcd.ok());
+    // Dumping against the dead stream is a no-op, not a crash.
+    for (int i = 0; i < 4; ++i) {
+        top.tick();
+        EXPECT_NO_THROW(vcd.dumpCycle(static_cast<std::uint64_t>(i)));
+    }
+    EXPECT_EQ(vcd.bytesWritten(), 0u);
+}
+
+TEST(VcdWriter, DisabledWriterCountsNoBytes) {
+    const std::string path = ::testing::TempDir() + "g5r_vcd_disabled.vcd";
+    TinyDesign top;
+    VcdWriter vcd{path, top};
+    ASSERT_TRUE(vcd.ok());
+    vcd.setEnabled(false);
+    for (int i = 0; i < 4; ++i) {
+        top.tick();
+        vcd.dumpCycle(static_cast<std::uint64_t>(i));
+    }
+    EXPECT_EQ(vcd.bytesWritten(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(VcdWriter, FailedWriterSurvivesDestructionAfterHeavyUse) {
+    TinyDesign top;
+    auto vcd = std::make_unique<VcdWriter>("/nonexistent-g5r-dir/wave.vcd", top);
+    for (int i = 0; i < 100; ++i) {
+        top.tick();
+        vcd->dumpCycle(static_cast<std::uint64_t>(i));
+    }
+    EXPECT_FALSE(vcd->ok());
+    EXPECT_NO_THROW(vcd.reset());  // Destructor of a dead writer is clean.
+}
+
+}  // namespace
+}  // namespace g5r::rtl

@@ -1,0 +1,78 @@
+// Debug-trace gating: the lock-free disabled path and runtime flag control.
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace g5r {
+namespace {
+
+// Streamable probe recording whether dtrace() ever formatted it.
+struct Probe {
+    bool* hit;
+};
+std::ostream& operator<<(std::ostream& os, const Probe& p) {
+    *p.hit = true;
+    return os;
+}
+
+// Restore a clean (all-off) flag state around each test so the suite does
+// not leak tracing into unrelated tests.
+class LoggingFlags : public ::testing::Test {
+protected:
+    void TearDown() override { setDebugFlags(""); }
+};
+
+TEST_F(LoggingFlags, SetDebugFlagsTogglesIndividualFlags) {
+    setDebugFlags("xbar,cache");
+    EXPECT_TRUE(debugFlagEnabled("xbar"));
+    EXPECT_TRUE(debugFlagEnabled("cache"));
+    EXPECT_FALSE(debugFlagEnabled("cpu"));
+
+    // Replacing the set drops flags that are no longer listed.
+    setDebugFlags("cpu");
+    EXPECT_TRUE(debugFlagEnabled("cpu"));
+    EXPECT_FALSE(debugFlagEnabled("xbar"));
+}
+
+TEST_F(LoggingFlags, EmptySpecDisablesAllTracing) {
+    setDebugFlags("xbar");
+    ASSERT_TRUE(debugFlagEnabled("xbar"));
+    setDebugFlags("");
+    EXPECT_FALSE(debugFlagEnabled("xbar"));
+    // The fast-path gate resolves to "off": dtrace() takes its single
+    // relaxed-load early return without consulting the flag set.
+    EXPECT_FALSE(detail::debugTracingActive());
+    EXPECT_EQ(detail::debugTraceState.load(), 0);
+}
+
+TEST_F(LoggingFlags, AllEnablesEveryFlag) {
+    setDebugFlags("all");
+    EXPECT_TRUE(debugFlagEnabled("xbar"));
+    EXPECT_TRUE(debugFlagEnabled("anything-at-all"));
+    EXPECT_TRUE(detail::debugTracingActive());
+    EXPECT_EQ(detail::debugTraceState.load(), 1);
+}
+
+TEST_F(LoggingFlags, GateTracksFlagChanges) {
+    // The optimisation must not freeze the first observed state: flags can
+    // toggle on and off repeatedly and the gate follows.
+    for (int i = 0; i < 3; ++i) {
+        setDebugFlags("flag" + std::to_string(i));
+        EXPECT_TRUE(detail::debugTracingActive()) << "iteration " << i;
+        EXPECT_TRUE(debugFlagEnabled("flag" + std::to_string(i)));
+        setDebugFlags("");
+        EXPECT_FALSE(detail::debugTracingActive()) << "iteration " << i;
+        EXPECT_FALSE(debugFlagEnabled("flag" + std::to_string(i)));
+    }
+}
+
+TEST_F(LoggingFlags, DtraceIsSafeWhileDisabled) {
+    setDebugFlags("");
+    // Must not crash, lock, or print; the lazy formatter must not even run.
+    bool formatted = false;
+    dtrace("off-flag", Probe{&formatted});
+    EXPECT_FALSE(formatted);
+}
+
+}  // namespace
+}  // namespace g5r

@@ -1,8 +1,10 @@
 // Statistics framework: scalars, formulas, distributions, lookup and dumps.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "exp/json.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -77,6 +79,74 @@ TEST(Stats, SimulationWideLookup) {
     EXPECT_DOUBLE_EQ(s1->value(), 22.0);
     EXPECT_EQ(sim.findStat("sys.cpu2.commits"), nullptr);
     EXPECT_EQ(sim.findStat("sys.cpu0"), nullptr);
+}
+
+// Regression for the catastrophic-cancellation bug: with a naive
+// sum-of-squares accumulator, latency-like samples riding on a large common
+// offset (absolute ticks late in a long run) cancel to garbage — or a
+// negative variance. Welford's algorithm keeps the exact small variance.
+TEST(Stats, DistributionVarianceSurvivesLargeOffset) {
+    stats::Group g{"grp"};
+    auto& d = g.distribution("lat", "latency");
+    for (const double delta : {4.0, 7.0, 13.0, 16.0}) d.sample(1e9 + delta);
+    // Population variance of {4,7,13,16} (mean 10): (36+9+9+36)/4 = 22.5.
+    EXPECT_NEAR(d.variance(), 22.5, 1e-6);
+    EXPECT_NEAR(d.stddev(), std::sqrt(22.5), 1e-6);
+    EXPECT_GE(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 1e9 + 10.0);
+
+    // Even larger offsets must still never go negative.
+    d.reset();
+    for (const double delta : {1.0, 2.0}) d.sample(1e15 + delta);
+    EXPECT_GE(d.variance(), 0.0);
+    EXPECT_NEAR(d.variance(), 0.25, 1e-3);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+    stats::Group g{"grp"};
+    auto& d = g.distribution("lat", "latency");
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);  // Empty.
+    d.sample(123.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);  // One sample.
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, GroupDumpJsonRoundTrips) {
+    stats::Group g{"mem"};
+    g.scalar("reads", "read count") += 3;
+    auto& d = g.distribution("lat", "latency");
+    for (const double v : {10.0, 20.0, 30.0}) d.sample(v);
+
+    // Serialize then re-parse through the same exp/json model CI uses.
+    const exp::Json doc = exp::Json::parse(g.dumpJson().dump());
+    EXPECT_DOUBLE_EQ(doc.at("reads").asDouble(), 3.0);
+    const exp::Json& lat = doc.at("lat");
+    EXPECT_EQ(lat.at("count").asInt(), 3);
+    EXPECT_DOUBLE_EQ(lat.at("min").asDouble(), 10.0);
+    EXPECT_DOUBLE_EQ(lat.at("mean").asDouble(), 20.0);
+    EXPECT_DOUBLE_EQ(lat.at("max").asDouble(), 30.0);
+    EXPECT_NEAR(lat.at("stddev").asDouble(), std::sqrt(200.0 / 3.0), 1e-9);
+}
+
+TEST(Stats, DumpJsonLeavesTextDumpUnchanged) {
+    // The JSON view is additive: the text dump must not change shape when
+    // dumpJson() has been called (tools diff text dumps across runs).
+    stats::Group g{"mem"};
+    g.scalar("reads", "read count") += 3;
+    std::ostringstream before;
+    g.dump(before);
+    (void)g.dumpJson();
+    std::ostringstream after;
+    g.dump(after);
+    EXPECT_EQ(before.str(), after.str());
+}
+
+TEST(Stats, SimulationDumpStatsJsonKeyedByObject) {
+    Simulation sim;
+    SimObject a{sim, "sys.cpu0"};
+    a.statsGroup().scalar("commits", "x") += 11;
+    const exp::Json doc = exp::Json::parse(sim.dumpStatsJson().dump());
+    EXPECT_DOUBLE_EQ(doc.at("sys.cpu0").at("commits").asDouble(), 11.0);
 }
 
 TEST(Stats, DumpContainsNamesAndValues) {
