@@ -6,11 +6,19 @@
 // sizes are scaled down (the paper's 3k/30k/60k quadratic sorts would take
 // hours of host time); GEM5RTL_FULL=1 selects larger arrays.
 //
-// Every (config, size, rep) run is an independent simulation, so the 27 of
+// Every (config, size, rep) run is an independent simulation, so all of
 // them fan out over the parallel runner (--jobs / GEM5RTL_JOBS). Note that
 // overhead *ratios* stay meaningful under parallel execution (every config
 // shares the host contention), but absolute seconds are only comparable to
 // the paper's in --jobs 1 runs. Results serialize to BENCH_table2.json.
+//
+// Further configurations measure quiescence gating: gem5+PMU repeated with
+// gating disabled (the fig. 5-programmed PMU counts cycles, so it never
+// reports idle and the two should match), and an *unprogrammed* PMU pair —
+// attached but never configured, the idle-heavy case where gating
+// deschedules nearly every RTL tick. The gated/ungated host-time ratios
+// (and a final-tick identity check — the gate must be invisible in
+// simulated time) land in the JSON.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -31,12 +39,15 @@ struct OnceResult {
     std::shared_ptr<const obs::ProfileReport> profile;  ///< GEM5RTL_PROFILE=1.
 };
 
-OnceResult runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, int rep) {
+OnceResult runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, bool gate,
+                   bool program, int rep) {
     experiments::PmuRunConfig cfg;
     cfg.layout.baseElems = baseElems;
     cfg.layout.sleepNs = 20'000;
     cfg.numCores = 1;
     cfg.attachPmu = attachPmu;
+    cfg.programPmu = program;
+    cfg.gateIdleTicks = gate;
     if (waveform) {
         cfg.waveformPath = "/tmp/g5r_table2_" + std::to_string(baseElems) + "_" +
                            std::to_string(rep) + ".vcd";
@@ -60,6 +71,8 @@ struct Cell {
     std::uint64_t baseElems;
     bool attachPmu;
     bool waveform;
+    bool gate;
+    bool program;
     int rep;
 };
 
@@ -77,7 +90,7 @@ int main(int argc, char** argv) {
 
     std::printf("# Table 2: simulation-time overhead of the PMU RTL model,\n");
     std::printf("# normalized to gem5 without the PMU (average of 3 runs)\n");
-    std::printf("%-24s", "Configs \\ Size");
+    std::printf("%-26s", "Configs \\ Size");
     for (const auto& [label, elems] : sizes) std::printf(" %14s", label);
     std::printf("\n");
 
@@ -87,24 +100,29 @@ int main(int argc, char** argv) {
         const char* name;
         bool attachPmu;
         bool waveform;
+        bool gate;
+        bool program;
     } configs[] = {
-        {"gem5 (baseline)", false, false},
-        {"gem5+PMU", true, false},
-        {"gem5+PMU+waveform", true, true},
+        {"gem5 (baseline)", false, false, true, true},
+        {"gem5+PMU", true, false, true, true},
+        {"gem5+PMU (ungated)", true, false, false, true},
+        {"gem5+PMU (idle)", true, false, true, false},
+        {"gem5+PMU (idle, ungated)", true, false, false, false},
+        {"gem5+PMU+waveform", true, true, true, true},
     };
     std::vector<Cell> cells;
     std::vector<exp::Task<OnceResult>> tasks;
     for (const auto& config : configs) {
         for (const auto& [label, elems] : sizes) {
             for (int rep = 0; rep < kReps; ++rep) {
-                cells.push_back(
-                    Cell{config.name, label, elems, config.attachPmu, config.waveform, rep});
+                cells.push_back(Cell{config.name, label, elems, config.attachPmu,
+                                     config.waveform, config.gate, config.program, rep});
                 const Cell& cell = cells.back();
                 tasks.push_back(exp::Task<OnceResult>{
                     std::string{config.name} + "/" + label + "/rep" + std::to_string(rep),
                     [cell] {
                         return runOnce(cell.baseElems, cell.attachPmu, cell.waveform,
-                                       cell.rep);
+                                       cell.gate, cell.program, cell.rep);
                     }});
             }
         }
@@ -115,13 +133,14 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sweepStart).count();
 
     // Per-(config, size) averages, in the same layout as before.
-    const auto average = [&](bool attachPmu, bool waveform) {
+    const auto average = [&](bool attachPmu, bool waveform, bool gate, bool program) {
         std::vector<double> avg;
         for (std::size_t s = 0; s < sizes.size(); ++s) {
             double total = 0;
             int count = 0;
             for (std::size_t i = 0; i < cells.size(); ++i) {
                 if (cells[i].attachPmu != attachPmu || cells[i].waveform != waveform ||
+                    cells[i].gate != gate || cells[i].program != program ||
                     cells[i].baseElems != sizes[s].second) {
                     continue;
                 }
@@ -140,24 +159,51 @@ int main(int argc, char** argv) {
         }
         return avg;
     };
-    const std::vector<double> base = average(false, false);
-    const std::vector<double> pmu = average(true, false);
-    const std::vector<double> wave = average(true, true);
+    const std::vector<double> base = average(false, false, true, true);
+    const std::vector<double> pmu = average(true, false, true, true);
+    const std::vector<double> pmuUngated = average(true, false, false, true);
+    const std::vector<double> idle = average(true, false, true, false);
+    const std::vector<double> idleUngated = average(true, false, false, false);
+    const std::vector<double> wave = average(true, true, true, true);
 
     auto row = [&](const char* name, const std::vector<double>& t) {
-        std::printf("%-24s", name);
+        std::printf("%-26s", name);
         for (std::size_t i = 0; i < t.size(); ++i) std::printf(" %14.2f", t[i] / base[i]);
         std::printf("\n");
     };
     row("gem5 (baseline)", base);
     row("gem5+PMU", pmu);
+    row("gem5+PMU (ungated)", pmuUngated);
+    row("gem5+PMU (idle)", idle);
+    row("gem5+PMU (idle, ungated)", idleUngated);
     row("gem5+PMU+waveform", wave);
 
     std::printf("\n# absolute wall seconds: ");
     for (std::size_t i = 0; i < base.size(); ++i) {
-        std::printf("base=%.2fs pmu=%.2fs wave=%.2fs  ", base[i], pmu[i], wave[i]);
+        std::printf("base=%.2fs pmu=%.2fs pmu_ungated=%.2fs idle=%.2fs "
+                    "idle_ungated=%.2fs wave=%.2fs  ",
+                    base[i], pmu[i], pmuUngated[i], idle[i], idleUngated[i], wave[i]);
     }
     std::printf("\n");
+
+    // Idle-tick gating must be invisible in simulated time: every gated PMU
+    // run must finish on exactly the same tick as its ungated twin (same
+    // programming, same size, same rep).
+    bool gatingTimingNeutral = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].attachPmu || cells[i].waveform || !cells[i].gate) continue;
+        for (std::size_t j = 0; j < cells.size(); ++j) {
+            if (!cells[j].attachPmu || cells[j].waveform || cells[j].gate) continue;
+            if (cells[j].program != cells[i].program ||
+                cells[j].baseElems != cells[i].baseElems || cells[j].rep != cells[i].rep) {
+                continue;
+            }
+            if (outcomes[i].ok && outcomes[j].ok &&
+                outcomes[i].value.finalTick != outcomes[j].value.finalTick) {
+                gatingTimingNeutral = false;
+            }
+        }
+    }
 
     // Shape checks: PMU adds modest overhead; waveforms add a lot more.
     int failures = 0;
@@ -169,6 +215,10 @@ int main(int argc, char** argv) {
     check(pmu[last] / base[last] < 2.0, "PMU overhead is manageable (< 2x)");
     check(wave[last] > pmu[last], "waveform tracing costs more than the bare PMU");
     check(wave[last] / base[last] > 1.5, "waveform overhead is substantial");
+    check(gatingTimingNeutral,
+          "idle-tick gating is timing-neutral (identical final ticks)");
+    check(idle[last] < idleUngated[last] * 0.9,
+          "gating an idle (unprogrammed) PMU saves host time");
 
     // ---- machine-readable results ------------------------------------------
     exp::Json doc = exp::benchDocument("table2", jobs);
@@ -179,6 +229,8 @@ int main(int argc, char** argv) {
         entry["size"] = cells[i].sizeLabel;
         entry["baseElems"] = cells[i].baseElems;
         entry["rep"] = cells[i].rep;
+        entry["gated"] = cells[i].gate;
+        entry["programmed"] = cells[i].program;
         entry["runtimeTicks"] = outcomes[i].ok ? outcomes[i].value.finalTick : Tick{0};
         entry["wallSeconds"] = outcomes[i].wallSeconds;
         entry["completed"] = outcomes[i].ok && outcomes[i].value.completed;
@@ -197,8 +249,10 @@ int main(int argc, char** argv) {
     }
     // The paper's normalized matrix, for trend tracking at a glance.
     exp::Json norm = exp::Json::object();
-    for (std::size_t c = 0; c < 3; ++c) {
-        const std::vector<double>& t = c == 0 ? base : (c == 1 ? pmu : wave);
+    const std::vector<double>* perConfig[] = {&base, &pmu,  &pmuUngated,
+                                              &idle, &idleUngated, &wave};
+    for (std::size_t c = 0; c < 6; ++c) {
+        const std::vector<double>& t = *perConfig[c];
         exp::Json perSize = exp::Json::object();
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             perSize[sizes[i].first] = base[i] > 0 ? t[i] / base[i] : 0.0;
@@ -206,6 +260,20 @@ int main(int argc, char** argv) {
         norm[configs[c].name] = std::move(perSize);
     }
     doc["normalizedOverhead"] = std::move(norm);
+    // Host-time win from quiescence gating, per size (< 1.0 means gating
+    // saved wall clock; simulated time is identical by construction). The
+    // programmed PMU counts cycles and is expected near 1.0; the idle rows
+    // are where gating can actually deschedule ticks.
+    exp::Json gatedRatio = exp::Json::object();
+    exp::Json gatedRatioIdle = exp::Json::object();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        gatedRatio[sizes[i].first] = pmuUngated[i] > 0 ? pmu[i] / pmuUngated[i] : 0.0;
+        gatedRatioIdle[sizes[i].first] =
+            idleUngated[i] > 0 ? idle[i] / idleUngated[i] : 0.0;
+    }
+    doc["gatedVsUngated"] = std::move(gatedRatio);
+    doc["gatedVsUngatedIdle"] = std::move(gatedRatioIdle);
+    doc["gatingTimingNeutral"] = gatingTimingNeutral;
     const std::string path = exp::writeBenchJson("BENCH_table2.json", doc);
     if (!path.empty()) {
         std::printf("# wrote %s (%zu points, jobs=%u, sweep %.1fs)\n", path.c_str(),

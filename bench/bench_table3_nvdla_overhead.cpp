@@ -8,9 +8,16 @@
 // and with the DDR4-4ch configuration, for both workloads. The full-SoC
 // runs include the host's trace-load step, which is what makes the shorter
 // Sanity3 run proportionally more expensive, as the paper observes.
+//
+// Each SoC configuration runs twice: with idle-tick quiescence gating (the
+// default) and without. The gated/ungated host-time ratios plus a
+// runtimeTicks identity check (gating must not move simulated time) are
+// serialized to BENCH_table3.json alongside the normalized overheads.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "exp/bench_report.hh"
 #include "models/nvdla/standalone.hh"
 #include "soc/experiments.hh"
 #include "soc/model_loader.hh"
@@ -42,7 +49,14 @@ double standaloneSeconds(const models::NvdlaShape& shape, int reps) {
     return total / reps;
 }
 
-double socSeconds(const models::NvdlaShape& shape, MemTech tech, int reps) {
+struct SocOutcome {
+    double wallSeconds = 0;    ///< Average over the reps.
+    Tick runtimeTicks = 0;     ///< Simulated time; identical across reps.
+    bool verified = true;      ///< Every rep completed with good checksums.
+};
+
+SocOutcome socRun(const models::NvdlaShape& shape, MemTech tech, int reps, bool gate) {
+    SocOutcome out;
     double total = 0;
     for (int r = 0; r < reps; ++r) {
         total += wallSeconds([&] {
@@ -51,13 +65,17 @@ double socSeconds(const models::NvdlaShape& shape, MemTech tech, int reps) {
             cfg.memTech = tech;
             cfg.numCores = 1;  // The paper's host application runs on a core.
             cfg.maxInflight = 240;
+            cfg.gateIdleTicks = gate;
             const auto result = experiments::runNvdlaDse(cfg);
             if (!result.completed || !result.checksumsOk) {
                 std::printf("WARN: SoC run failed verification\n");
+                out.verified = false;
             }
+            out.runtimeTicks = result.runtimeTicks;
         });
     }
-    return total / reps;
+    out.wallSeconds = total / reps;
+    return out;
 }
 
 }  // namespace
@@ -86,35 +104,111 @@ int main() {
                 kReps);
     std::printf("%-34s %10s %10s\n", "", "Sanity3", "GoogleNet");
 
-    double base[2], perfect[2], ddr[2];
+    const auto sweepStart = std::chrono::steady_clock::now();
+    double base[2];
+    SocOutcome perfect[2], ddr[2], perfectUngated[2], ddrUngated[2];
     for (int w = 0; w < 2; ++w) base[w] = standaloneSeconds(workloads[w].shape, kReps);
     for (int w = 0; w < 2; ++w) {
-        perfect[w] = socSeconds(workloads[w].shape, MemTech::kIdeal, kReps);
+        perfect[w] = socRun(workloads[w].shape, MemTech::kIdeal, kReps, true);
+        perfectUngated[w] = socRun(workloads[w].shape, MemTech::kIdeal, kReps, false);
+        ddr[w] = socRun(workloads[w].shape, MemTech::kDdr4_4ch, kReps, true);
+        ddrUngated[w] = socRun(workloads[w].shape, MemTech::kDdr4_4ch, kReps, false);
     }
-    for (int w = 0; w < 2; ++w) {
-        ddr[w] = socSeconds(workloads[w].shape, MemTech::kDdr4_4ch, kReps);
-    }
+    const double sweepWall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweepStart).count();
 
     std::printf("%-34s %10.2f %10.2f\n", "gem5+NVDLA+perfect-memory",
-                perfect[0] / base[0], perfect[1] / base[1]);
-    std::printf("%-34s %10.2f %10.2f\n", "gem5+NVDLA+DDR4", ddr[0] / base[0],
-                ddr[1] / base[1]);
+                perfect[0].wallSeconds / base[0], perfect[1].wallSeconds / base[1]);
+    std::printf("%-34s %10.2f %10.2f\n", "gem5+NVDLA+perfect-mem (ungated)",
+                perfectUngated[0].wallSeconds / base[0],
+                perfectUngated[1].wallSeconds / base[1]);
+    std::printf("%-34s %10.2f %10.2f\n", "gem5+NVDLA+DDR4", ddr[0].wallSeconds / base[0],
+                ddr[1].wallSeconds / base[1]);
+    std::printf("%-34s %10.2f %10.2f\n", "gem5+NVDLA+DDR4 (ungated)",
+                ddrUngated[0].wallSeconds / base[0], ddrUngated[1].wallSeconds / base[1]);
     std::printf("\n# absolute wall seconds: standalone=%.3f/%.3f perfect=%.3f/%.3f "
                 "ddr4=%.3f/%.3f\n",
-                base[0], base[1], perfect[0], perfect[1], ddr[0], ddr[1]);
+                base[0], base[1], perfect[0].wallSeconds, perfect[1].wallSeconds,
+                ddr[0].wallSeconds, ddr[1].wallSeconds);
+    std::printf("# gated/ungated host time: perfect=%.3f/%.3f ddr4=%.3f/%.3f\n",
+                perfect[0].wallSeconds / perfectUngated[0].wallSeconds,
+                perfect[1].wallSeconds / perfectUngated[1].wallSeconds,
+                ddr[0].wallSeconds / ddrUngated[0].wallSeconds,
+                ddr[1].wallSeconds / ddrUngated[1].wallSeconds);
 
     int failures = 0;
     auto check = [&](bool ok, const char* what) {
         std::printf("[%s] %s\n", ok ? "PASS" : "WARN", what);
         if (!ok) ++failures;
     };
-    check(perfect[0] / base[0] > 1.0 && perfect[1] / base[1] > 1.0,
+    check(perfect[0].wallSeconds / base[0] > 1.0 && perfect[1].wallSeconds / base[1] > 1.0,
           "full-system simulation costs more than the standalone player");
-    check(ddr[0] >= perfect[0] * 0.9,
+    check(ddr[0].wallSeconds >= perfect[0].wallSeconds * 0.9,
           "the detailed DRAM model does not make simulation cheaper");
     // Judged on the perfect-memory configuration: the DDR4 rows carry more
     // wall-clock variance than the effect size on these short default runs.
-    check(perfect[0] / base[0] > perfect[1] / base[1],
+    check(perfect[0].wallSeconds / base[0] > perfect[1].wallSeconds / base[1],
           "overhead is larger for the short Sanity3 run (trace-load dominates)");
+    bool timingNeutral = true;
+    for (int w = 0; w < 2; ++w) {
+        if (perfect[w].runtimeTicks != perfectUngated[w].runtimeTicks) timingNeutral = false;
+        if (ddr[w].runtimeTicks != ddrUngated[w].runtimeTicks) timingNeutral = false;
+    }
+    check(timingNeutral, "idle-tick gating is timing-neutral (identical runtimeTicks)");
+
+    // ---- machine-readable results ------------------------------------------
+    exp::Json doc = exp::benchDocument("table3", 1);
+    doc["sweepWallSeconds"] = sweepWall;
+    const struct {
+        const char* config;
+        const SocOutcome* rows;
+        bool gated;
+    } socConfigs[] = {
+        {"gem5+NVDLA+perfect-memory", perfect, true},
+        {"gem5+NVDLA+perfect-memory (ungated)", perfectUngated, false},
+        {"gem5+NVDLA+DDR4", ddr, true},
+        {"gem5+NVDLA+DDR4 (ungated)", ddrUngated, false},
+    };
+    for (int w = 0; w < 2; ++w) {
+        exp::Json entry = exp::Json::object();
+        entry["config"] = "standalone";
+        entry["workload"] = workloads[w].name;
+        entry["wallSeconds"] = base[w];
+        doc["points"].push(std::move(entry));
+    }
+    for (const auto& sc : socConfigs) {
+        for (int w = 0; w < 2; ++w) {
+            exp::Json entry = exp::Json::object();
+            entry["config"] = sc.config;
+            entry["workload"] = workloads[w].name;
+            entry["gated"] = sc.gated;
+            entry["wallSeconds"] = sc.rows[w].wallSeconds;
+            entry["runtimeTicks"] = sc.rows[w].runtimeTicks;
+            entry["normalizedToStandalone"] =
+                base[w] > 0 ? sc.rows[w].wallSeconds / base[w] : 0.0;
+            entry["verified"] = sc.rows[w].verified;
+            doc["points"].push(std::move(entry));
+        }
+    }
+    // Host-time win from quiescence gating (< 1.0 means gating saved wall
+    // clock; simulated time is identical — see gatingTimingNeutral).
+    exp::Json gatedRatio = exp::Json::object();
+    for (int w = 0; w < 2; ++w) {
+        exp::Json per = exp::Json::object();
+        per["perfect"] = perfectUngated[w].wallSeconds > 0
+                             ? perfect[w].wallSeconds / perfectUngated[w].wallSeconds
+                             : 0.0;
+        per["ddr4"] = ddrUngated[w].wallSeconds > 0
+                          ? ddr[w].wallSeconds / ddrUngated[w].wallSeconds
+                          : 0.0;
+        gatedRatio[workloads[w].name] = std::move(per);
+    }
+    doc["gatedVsUngated"] = std::move(gatedRatio);
+    doc["gatingTimingNeutral"] = timingNeutral;
+    const std::string path = exp::writeBenchJson("BENCH_table3.json", doc);
+    if (!path.empty()) {
+        std::printf("# wrote %s (%zu points, sweep %.1fs)\n", path.c_str(),
+                    doc["points"].size(), sweepWall);
+    }
     return failures == 0 ? 0 : 2;
 }

@@ -12,7 +12,13 @@
  * Per tick, the simulator passes a G5rRtlInput (device-channel beat, one
  * memory response, in-flight credits, sideband event pulses) and receives a
  * G5rRtlOutput (device ready/response, new memory requests, interrupt level,
- * done flag).
+ * done flag, idle hint).
+ *
+ * ABI versioning: v2 appends the idle_hint field to G5rRtlOutput. The v1
+ * prefix of both structs is unchanged, so the simulator still loads v1
+ * libraries (G5R_RTL_ABI_VERSION_MIN): the caller zero-fills the output
+ * struct before every tick and additionally ignores idle_hint for any model
+ * that reports abi_version < 2, so a v1 model is simply never idle.
  */
 #ifndef G5R_BRIDGE_RTL_API_H
 #define G5R_BRIDGE_RTL_API_H
@@ -23,7 +29,11 @@
 extern "C" {
 #endif
 
-#define G5R_RTL_ABI_VERSION 1u
+#define G5R_RTL_ABI_VERSION 2u
+/* Oldest model ABI the simulator still accepts. */
+#define G5R_RTL_ABI_VERSION_MIN 1u
+/* First ABI revision whose G5rRtlOutput carries idle_hint. */
+#define G5R_RTL_ABI_IDLE_HINT 2u
 #define G5R_RTL_MAX_MEM_REQ 8u
 #define G5R_RTL_MEM_DATA_BYTES 64u
 #define G5R_RTL_NUM_EVENT_LINES 32u
@@ -71,11 +81,21 @@ typedef struct G5rRtlOutput {
 
     uint8_t irq;   /* interrupt line level */
     uint8_t done;  /* model-defined completion flag */
+
+    /* v2: quiescence hint. Non-zero promises that, given only idle cycles
+     * (no device beat, no memory response, no event pulses), the model's
+     * architecturally visible state and outputs do not change, so the
+     * simulator may skip delivering clock ticks until external input
+     * arrives. A model that counts cycles (e.g. a PMU with any counter
+     * enabled) or has in-flight work must keep this 0. Models must also
+     * keep it 0 while waveform tracing is active, since skipped cycles
+     * would otherwise be missing from the dump. */
+    uint8_t idle_hint;
 } G5rRtlOutput;
 
 /* The function table a model shared library exposes. */
 typedef struct G5rRtlModelApi {
-    uint32_t abi_version;  /* must equal G5R_RTL_ABI_VERSION */
+    uint32_t abi_version;  /* in [G5R_RTL_ABI_VERSION_MIN, G5R_RTL_ABI_VERSION] */
     const char* name;
 
     /* config is a model-specific string (e.g. a trace file path). */

@@ -8,10 +8,13 @@ namespace g5r {
 
 ApiRtlModel::ApiRtlModel(const G5rRtlModelApi* api, const std::string& config) : api_(api) {
     if (api_ == nullptr) throw std::runtime_error("null RTL model API table");
-    if (api_->abi_version != G5R_RTL_ABI_VERSION) {
+    if (api_->abi_version < G5R_RTL_ABI_VERSION_MIN ||
+        api_->abi_version > G5R_RTL_ABI_VERSION) {
         throw std::runtime_error(std::string{"RTL model '"} + api_->name +
                                  "' built against ABI v" + std::to_string(api_->abi_version) +
-                                 ", simulator expects v" + std::to_string(G5R_RTL_ABI_VERSION));
+                                 ", simulator accepts v" +
+                                 std::to_string(G5R_RTL_ABI_VERSION_MIN) + "..v" +
+                                 std::to_string(G5R_RTL_ABI_VERSION));
     }
     instance_ = api_->create(config.c_str());
     if (instance_ == nullptr) {

@@ -8,6 +8,7 @@
 //     Verilator/GHDL toolflows.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,15 @@ public:
     virtual void tick(const G5rRtlInput& in, G5rRtlOutput& out) = 0;
     virtual bool traceStart(const std::string& vcdPath) = 0;
     virtual void traceStop() = 0;
+
+    /// ABI revision the model was built against. In-process models are by
+    /// definition current; ApiRtlModel reports the loaded table's version.
+    virtual std::uint32_t abiVersion() const { return G5R_RTL_ABI_VERSION; }
+
+    /// Whether G5rRtlOutput::idle_hint is meaningful for this model. The
+    /// bridge never gates ticks of a pre-v2 model (the field did not exist,
+    /// so a stale non-zero byte must not be trusted).
+    bool supportsIdleHint() const { return abiVersion() >= G5R_RTL_ABI_IDLE_HINT; }
 };
 
 /// Wraps an API table + instance without owning any library handle.
@@ -36,6 +46,7 @@ public:
     ApiRtlModel& operator=(const ApiRtlModel&) = delete;
 
     const char* modelName() const override { return api_->name; }
+    std::uint32_t abiVersion() const override { return api_->abi_version; }
     void reset() override { api_->reset(instance_); }
     void tick(const G5rRtlInput& in, G5rRtlOutput& out) override {
         api_->tick(instance_, &in, &out);

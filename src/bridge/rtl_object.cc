@@ -11,7 +11,11 @@ RtlObject::RtlObject(Simulation& sim, std::string objName, const RtlObjectParams
       model_(std::move(model)),
       eventBus_(eventBus),
       tlb_(tlb),
-      tickEvent_([this] { tick(); }, name() + ".tick"),
+      // kRtlTick runs after every same-tick packet delivery and event pulse,
+      // so a tick rescheduled by wake() samples exactly the state a
+      // free-running tick at the same edge would — the property that makes
+      // idle gating timing-neutral.
+      tickEvent_([this] { tick(); }, name() + ".tick", EventPriority::kRtlTick),
       statTicks_(stats_.scalar("ticks", "RTL clock ticks delivered to the model")),
       statDevReads_(stats_.scalar("devReads", "device-channel reads")),
       statDevWrites_(stats_.scalar("devWrites", "device-channel writes")),
@@ -21,6 +25,8 @@ RtlObject::RtlObject(Simulation& sim, std::string objName, const RtlObjectParams
       statBytesWritten_(stats_.scalar("bytesWritten", "bytes written by the model")),
       statZeroCreditTicks_(stats_.scalar("zeroCreditTicks",
                                          "ticks with no in-flight credits available")),
+      statGatedTicks_(stats_.scalar("gatedTicks",
+                                    "RTL cycles skipped while quiescence-gated")),
       statIrqEdges_(stats_.scalar("irqEdges", "interrupt line level changes")),
       statOutstanding_(stats_.distribution("outstanding",
                                            "outstanding memory requests per tick")) {
@@ -32,6 +38,9 @@ RtlObject::RtlObject(Simulation& sim, std::string objName, const RtlObjectParams
     for (unsigned i = 0; i < kNumMemSidePorts; ++i) {
         memPorts_[i] = std::make_unique<MemSidePort>(
             name() + ".mem_side" + std::to_string(i), *this, i);
+    }
+    if (eventBus_ != nullptr) {
+        eventBus_->addWakeCallback([this] { wake(); });
     }
 }
 
@@ -55,6 +64,7 @@ void RtlObject::startup() {
 // ------------------------------------------------------------ device side --
 
 bool RtlObject::recvDevReq(unsigned portIdx, PacketPtr& pkt) {
+    wake();
     if (devQueue_.size() >= params_.devQueueDepth) {
         needDevRetry_[portIdx] = true;
         return false;
@@ -79,10 +89,23 @@ void RtlObject::sendDevResponses() {
                 break;
             }
             queue.pop_front();
-            if (needDevRetry_[i]) {
-                needDevRetry_[i] = false;
-                cpuPorts_[i]->sendReqRetry();
-            }
+        }
+    }
+}
+
+// Offer retries to ports that were refused, as soon as (and only while) the
+// device queue has room. Retries used to be coupled to a *response* going
+// out on the same port, which starved a port whose refused request never got
+// a response-producing predecessor: queue space freed at accept time in
+// tick(), but the retry waiting on port 1 never fired if the draining
+// traffic belonged to port 0. sendReqRetry() may synchronously re-enter
+// recvDevReq and refill the queue, hence the capacity re-check per port.
+void RtlObject::sendDevRetries() {
+    for (unsigned i = 0; i < kNumCpuSidePorts; ++i) {
+        if (devQueue_.size() >= params_.devQueueDepth) return;
+        if (needDevRetry_[i]) {
+            needDevRetry_[i] = false;
+            cpuPorts_[i]->sendReqRetry();
         }
     }
 }
@@ -90,6 +113,7 @@ void RtlObject::sendDevResponses() {
 // ------------------------------------------------------------ memory side --
 
 bool RtlObject::recvMemResp(PacketPtr& pkt) {
+    wake();
     const auto it = pktToModelId_.find(pkt->id());
     simAssert(it != pktToModelId_.end(), "memory response with no model mapping");
     ModelResp resp;
@@ -201,7 +225,8 @@ void RtlObject::tick() {
     ++statTicks_;
     statOutstanding_.sample(static_cast<double>(outstanding_));
 
-    // Device handshake resolution.
+    // Device handshake resolution. Accepting a beat frees queue space, so
+    // refused ports get their retry here (see sendDevRetries).
     if (devPresented_ && out.dev_ready != 0) {
         DevReq dev = std::move(devQueue_.front());
         devQueue_.pop_front();
@@ -225,6 +250,7 @@ void RtlObject::tick() {
     }
     if (in.mem_resp_valid != 0) modelRespQueue_.pop_front();
 
+    sendDevRetries();
     issueModelRequests(out);
     sendDevResponses();
 
@@ -239,7 +265,52 @@ void RtlObject::tick() {
         if (params_.exitOnDone) sim_.exitSimLoop(name() + ": model done");
     }
 
-    eventQueue().schedule(tickEvent_, clockEdge(1));
+    if (canGate(out)) {
+        gated_ = true;
+        gatedAtEdge_ = clockEdge(1);
+    } else {
+        eventQueue().schedule(tickEvent_, clockEdge(1));
+    }
+}
+
+// The tick event may be descheduled only when skipping cycles is provably
+// invisible: the model promises its state is insensitive to idle cycles
+// (idle_hint, meaningful from ABI v2 on) and the bridge holds nothing that
+// would feed the model on a future tick. Every input source that could end
+// the idle stretch has a wake hook: recvDevReq, recvMemResp, and the event
+// bus's empty->non-empty callback. Spurious wakes are harmless (an ungated
+// bridge ticks every cycle anyway); only a missed wake could diverge.
+bool RtlObject::canGate(const G5rRtlOutput& out) const {
+    if (!params_.gateIdleTicks || out.idle_hint == 0 || !model_->supportsIdleHint())
+        return false;
+    if (!devQueue_.empty() || devReadPending_.has_value()) return false;
+    if (!modelRespQueue_.empty() || outstanding_ != 0) return false;
+    for (const auto& q : respQueues_)
+        if (!q.empty()) return false;
+    for (const auto& q : memSendQueues_)
+        if (!q.empty()) return false;
+    if (eventBus_ != nullptr && eventBus_->hasPending()) return false;
+    return true;
+}
+
+void RtlObject::wake() {
+    if (!gated_) return;
+    gated_ = false;
+    // Never before the edge the descheduled tick would have run at; at the
+    // next edge not yet passed otherwise. kRtlTick priority puts the tick
+    // after this wake's cause, so it samples the delivered input. One
+    // asymmetry: when the dispatch position has already moved past this
+    // edge's tick slot — an ungated twin's tick at this very edge would
+    // have fired by now — a stimulus injected afterwards (an embedder
+    // poking the bus between run() slices, or issuing at an edge the run
+    // bound already closed) must be sampled at the *next* edge instead.
+    Tick edge = clockEdge();
+    if (eventQueue().hasPassed(edge, static_cast<int>(EventPriority::kRtlTick))) {
+        edge += clockPeriod();
+    }
+    edge = std::max(edge, gatedAtEdge_);
+    statGatedTicks_ += static_cast<double>((edge - gatedAtEdge_) / clockPeriod());
+    eventQueue().schedule(tickEvent_, edge);
 }
 
 }  // namespace g5r

@@ -52,6 +52,13 @@ struct RtlObjectParams {
 
     /// Stop the simulation when the model raises its done flag.
     bool exitOnDone = false;
+
+    /// Deschedule the RTL tick event while the model reports quiescence
+    /// (G5rRtlOutput::idle_hint) and the bridge holds no queued work. Wakes
+    /// on device-request arrival, memory response, or an event-bus pulse.
+    /// Timing-neutral by construction (see tick()/wake()); only affects
+    /// host wall-clock. Ignored for pre-v2 models, which lack the hint.
+    bool gateIdleTicks = true;
 };
 
 class RtlObject : public ClockedObject {
@@ -80,6 +87,14 @@ public:
     bool modelDone() const { return done_; }
     bool irqLevel() const { return irqLevel_; }
     unsigned outstandingRequests() const { return outstanding_; }
+
+    /// True while the tick event is descheduled on a quiescence hint.
+    bool isGated() const { return gated_; }
+
+    /// RTL cycles skipped while gated (the new `gatedTicks` stat).
+    std::uint64_t gatedTicks() const {
+        return static_cast<std::uint64_t>(statGatedTicks_.value());
+    }
 
     /// Waveform passthrough (Table 2's gem5+PMU+waveform configuration).
     bool traceStart(const std::string& vcdPath) { return model_->traceStart(vcdPath); }
@@ -118,8 +133,11 @@ private:
     void devFunctional(Packet& pkt);
     bool recvMemResp(PacketPtr& pkt);
     void sendDevResponses();
+    void sendDevRetries();
     void sendMemRequests();
     void issueModelRequests(const G5rRtlOutput& out);
+    bool canGate(const G5rRtlOutput& out) const;
+    void wake();
 
     RtlObjectParams params_;
     std::unique_ptr<RtlModel> model_;
@@ -157,6 +175,12 @@ private:
     bool done_ = false;
     std::function<void(bool)> irqCallback_;
 
+    // Quiescence gating. gatedAtEdge_ remembers the edge the descheduled
+    // tick would have run at, so a wake in the same cycle re-runs it there
+    // (never earlier, never twice) and later wakes can count skipped edges.
+    bool gated_ = false;
+    Tick gatedAtEdge_ = 0;
+
     stats::Scalar& statTicks_;
     stats::Scalar& statDevReads_;
     stats::Scalar& statDevWrites_;
@@ -165,6 +189,7 @@ private:
     stats::Scalar& statBytesRead_;
     stats::Scalar& statBytesWritten_;
     stats::Scalar& statZeroCreditTicks_;
+    stats::Scalar& statGatedTicks_;
     stats::Scalar& statIrqEdges_;
     stats::Distribution& statOutstanding_;
 };

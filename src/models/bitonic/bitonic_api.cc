@@ -96,6 +96,9 @@ public:
 
         out.irq = done_ ? 1 : 0;
         out.done = done_ ? 1 : 0;
+        // Idle whenever the sort pipeline is not counting down and no CSB
+        // read awaits its reply beat: with stable inputs nothing changes.
+        out.idle_hint = busyCycles_ == 0 && !readPending_ ? 1 : 0;
     }
 
 private:

@@ -45,6 +45,10 @@ public:
 
         out.irq = design_->irqAsserted() ? 1 : 0;
         out.done = design_->doneFlag() ? 1 : 0;
+        // Idle only with the engine drained, no CSB read awaiting its reply
+        // beat, and no VCD recording (skipped cycles would be lost).
+        out.idle_hint =
+            design_->quiescent() && !readPending_ && vcd_ == nullptr ? 1 : 0;
         if (vcd_ != nullptr) vcd_->dumpCycle(cycle_);
     }
 

@@ -74,6 +74,16 @@ public:
 
     bool busy() const { return state_.q() == kStateRunning; }
     bool doneFlag() const { return state_.q() == kStateDone; }
+
+    /// True when idle cycles cannot change engine state: the conv pipeline
+    /// is not running and every DMA read/write has drained. Basis of the
+    /// ABI idle hint; cycleCount_ may lag real time while the host gates
+    /// ticks, but perfCycles_ is a delta inside the (never-gated) running
+    /// window, so it is unaffected.
+    bool quiescent() const {
+        return state_.q() != kStateRunning && inflight_.empty() &&
+               writeAcksPending_ == 0;
+    }
     bool irqAsserted() const { return irq_.q() != 0; }
     std::uint64_t checksum() const { return checksum_; }
     std::uint64_t perfCycles() const { return perfCycles_; }

@@ -75,6 +75,11 @@ public:
         ++cycle_;
 
         out.irq = design_.irqAsserted() ? 1 : 0;
+        // Idle only when the design is insensitive to further idle cycles,
+        // the AXI endpoint holds no half-finished transaction, and no VCD is
+        // recording (skipped cycles would be missing from the dump).
+        out.idle_hint =
+            design_.quiescent() && axi_.idle() && vcd_ == nullptr ? 1 : 0;
         if (vcd_ != nullptr) vcd_->dumpCycle(cycle_);
     }
 

@@ -64,6 +64,21 @@ void PmuDesign::evalComb() {
     }
 }
 
+bool PmuDesign::quiescent() const {
+    if (resetWindow_.q() != 0) return false;   // Window decrements per cycle.
+    if (enableMask_.q() != 0) return false;    // Enabled lines count cycles/pulses.
+    for (const auto& c : captureStage_) {
+        if (c->q() != 0) return false;         // In-flight pulse not yet counted.
+    }
+    // A met threshold re-fires every cycle (reset counter, open window).
+    const unsigned sel = thresholdSel_.q() % kNumCounters;
+    if (threshold_.q() != 0 &&
+        counters_[sel]->q() + captureStage_[sel]->q() >= threshold_.q()) {
+        return false;
+    }
+    return true;
+}
+
 std::uint64_t PmuDesign::readReg(std::uint64_t addrIn) const {
     const std::uint64_t addr = addrIn & 0xFFF;
     if (addr >= kCounterBase && addr < kCounterBase + 8 * kNumCounters && addr % 8 == 0) {

@@ -62,6 +62,12 @@ public:
     std::uint32_t counterValue(unsigned idx) const { return counters_[idx]->q(); }
     bool irqAsserted() const { return irq_.q() != 0; }
 
+    /// True when a cycle with no config write and no event pulses leaves
+    /// every register unchanged — the basis of the ABI idle hint. Any
+    /// enabled counter disqualifies: the wrapper pulses the clock-as-event
+    /// line internally, and enabled lines must observe every cycle.
+    bool quiescent() const;
+
 private:
     std::vector<std::unique_ptr<rtl::Reg<std::uint32_t>>> counters_;
     std::vector<std::unique_ptr<rtl::Reg<std::uint32_t>>> captureStage_;  ///< Artefact (i).

@@ -1,5 +1,6 @@
 #include "rtl/netlist.hh"
 
+#include <algorithm>
 #include <deque>
 #include <sstream>
 
@@ -41,12 +42,15 @@ Netlist::Netlist(std::string_view source) : graph_(parseNetlistGraph(source)) {
             node.value = node.init;
             regIndices_.push_back(static_cast<int>(nodes_.size()));
         }
+        // Constants never change; initialize once instead of on every eval().
+        if (node.op == Op::kConst) node.value = node.init;
         byName_[node.name] = static_cast<int>(nodes_.size());
         nodes_.push_back(std::move(node));
     }
     for (const auto& out : graph_.outputs) outputs_[out.alias] = out.target;
 
     topoSort();
+    dirty_.assign(nodes_.size(), 1);  // First eval() computes everything.
 }
 
 void Netlist::topoSort() {
@@ -95,9 +99,15 @@ void Netlist::topoSort() {
 }
 
 void Netlist::setInput(const std::string& name, std::uint64_t value) {
-    Node& node = nodes_[indexOf(name)];
+    const int idx = indexOf(name);
+    Node& node = nodes_[idx];
     if (node.op != Op::kInput) throw NetlistError(name + " is not an input");
-    node.value = value & mask(node);
+    const std::uint64_t masked = value & mask(node);
+    if (masked != node.value) {
+        node.value = masked;
+        dirty_[idx] = 1;
+        anyDirty_ = true;
+    }
 }
 
 std::uint64_t Netlist::output(const std::string& name) const {
@@ -111,42 +121,80 @@ std::uint64_t Netlist::probe(const std::string& name) const {
 }
 
 void Netlist::eval() {
-    for (auto& node : nodes_) {
-        if (node.op == Op::kConst) node.value = node.init;
-    }
+    lastEvalComputed_ = 0;
+    // Quiescent fast path: no input or register changed since the last
+    // settle, so every combinational value (and every reg next-value
+    // captured then) is still correct.
+    if (!anyDirty_) return;
+
     for (const int i : evalOrder_) {
         Node& node = nodes_[i];
+        bool srcChanged = false;
+        for (const int s : node.src) {
+            if (s >= 0 && dirty_[s] != 0) {
+                srcChanged = true;
+                break;
+            }
+        }
+        if (!srcChanged) continue;  // Cone is quiet; value still valid.
+        ++lastEvalComputed_;
+
         const auto a = [&] { return nodes_[node.src[0]].value; };
         const auto b = [&] { return nodes_[node.src[1]].value; };
+        // Signed compare honors the *source* nets' declared widths: a 4-bit
+        // 0xF is -1, not 15. Zero-extending the masked storage (the old
+        // behavior) made lt identical to ltu for every net narrower than
+        // 64 bits.
+        const auto sext = [&](int operand) {
+            const Node& s = nodes_[node.src[operand]];
+            if (s.width >= 64) return static_cast<std::int64_t>(s.value);
+            const unsigned sh = 64 - s.width;
+            return static_cast<std::int64_t>(s.value << sh) >> sh;
+        };
+
+        std::uint64_t value = 0;
         switch (node.op) {
-        case Op::kNot: node.value = ~a(); break;
-        case Op::kAnd: node.value = a() & b(); break;
-        case Op::kOr: node.value = a() | b(); break;
-        case Op::kXor: node.value = a() ^ b(); break;
-        case Op::kAdd: node.value = a() + b(); break;
-        case Op::kSub: node.value = a() - b(); break;
-        case Op::kLt:
-            node.value = static_cast<std::int64_t>(a()) < static_cast<std::int64_t>(b());
-            break;
-        case Op::kLtu: node.value = a() < b(); break;
-        case Op::kEq: node.value = a() == b(); break;
+        case Op::kNot: value = ~a(); break;
+        case Op::kAnd: value = a() & b(); break;
+        case Op::kOr: value = a() | b(); break;
+        case Op::kXor: value = a() ^ b(); break;
+        case Op::kAdd: value = a() + b(); break;
+        case Op::kSub: value = a() - b(); break;
+        case Op::kLt: value = sext(0) < sext(1) ? 1 : 0; break;
+        case Op::kLtu: value = a() < b() ? 1 : 0; break;
+        case Op::kEq: value = a() == b() ? 1 : 0; break;
         case Op::kMux:
-            node.value = a() != 0 ? nodes_[node.src[1]].value : nodes_[node.src[2]].value;
+            value = a() != 0 ? nodes_[node.src[1]].value : nodes_[node.src[2]].value;
             break;
-        default: break;
+        default: value = node.value; break;
         }
-        node.value &= mask(node);
+        value &= mask(node);
+        // Dirtiness propagates only on an actual change, so a glitch that
+        // recomputes to the same value stops the wave there.
+        if (value != node.value) {
+            node.value = value;
+            dirty_[i] = 1;
+        }
     }
     // Capture reg next-values after combinational settle.
     for (const int r : regIndices_) {
         Node& reg = nodes_[r];
         reg.next = nodes_[reg.src[0]].value & mask(reg);
     }
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    anyDirty_ = false;
 }
 
 void Netlist::tick() {
     eval();
-    for (const int r : regIndices_) nodes_[r].value = nodes_[r].next;
+    for (const int r : regIndices_) {
+        Node& reg = nodes_[r];
+        if (reg.value != reg.next) {
+            reg.value = reg.next;
+            dirty_[r] = 1;
+            anyDirty_ = true;
+        }
+    }
 }
 
 void Netlist::reset() {
@@ -154,6 +202,9 @@ void Netlist::reset() {
         nodes_[r].value = nodes_[r].init;
         nodes_[r].next = nodes_[r].init;
     }
+    // Conservative: recompute the whole netlist on the next eval().
+    std::fill(dirty_.begin(), dirty_.end(), 1);
+    anyDirty_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +227,8 @@ std::string bitonicSorterNetlist(unsigned n, unsigned width) {
         const std::string a = cur[lo];
         const std::string b = cur[hi];
         const std::string tag = "s" + std::to_string(stage) + "_" + std::to_string(lo);
+        // Signed compare: lane data are signed words (the model tests sort
+        // negative values), sign-extended from the lane width.
         os << "lt " << tag << "_cmp " << a << ' ' << b << "\n";
         // ascending: lo gets min, hi gets max.
         const char* selLo = ascending ? " " : " ";

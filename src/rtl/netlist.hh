@@ -13,7 +13,9 @@
 //   not    <name> <a> [width]      -- bitwise ops
 //   and|or|xor <name> <a> <b> [width]
 //   add|sub <name> <a> <b> [width]
-//   lt|ltu|eq <name> <a> <b>       -- comparisons (1-bit result)
+//   lt|ltu|eq <name> <a> <b>       -- comparisons (1-bit result); lt is
+//                                     signed: operands are sign-extended
+//                                     from their declared net widths
 //   mux    <name> <sel> <a> <b> [width]
 //   reg    <name> <next> [init] [width]  -- D flip-flop, latched by tick()
 //
@@ -54,6 +56,8 @@ public:
     std::uint64_t output(const std::string& name) const;
 
     /// Propagate combinational logic from inputs/register outputs.
+    /// Activity-driven: only cones whose sources changed since the last
+    /// settle are recomputed, and a fully quiescent netlist is a no-op.
     void eval();
 
     /// Clock edge: eval(), then latch every reg.
@@ -64,6 +68,10 @@ public:
 
     std::size_t numNodes() const { return nodes_.size(); }
     std::size_t numRegs() const { return regIndices_.size(); }
+
+    /// Combinational nodes recomputed by the most recent eval() — 0 when
+    /// every input and register held its value (testing/profiling).
+    std::size_t lastEvalComputedNodes() const { return lastEvalComputed_; }
 
     /// Value of any named net after the last eval() (testing/debug).
     std::uint64_t probe(const std::string& name) const;
@@ -96,6 +104,9 @@ private:
     std::map<std::string, int, std::less<>> outputs_;  ///< alias -> node index.
     std::vector<int> evalOrder_;   ///< Combinational nodes, topologically sorted.
     std::vector<int> regIndices_;
+    std::vector<std::uint8_t> dirty_;  ///< Per node: value changed since last settle.
+    bool anyDirty_ = true;
+    std::size_t lastEvalComputed_ = 0;
 };
 
 /// Generate a bitonic sorting-network netlist for @p n power-of-two inputs

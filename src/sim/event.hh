@@ -23,6 +23,10 @@ enum class EventPriority : int {
     kStatDump = -100,   ///< Interval statistic dumps observe pre-tick state.
     kClockTick = 0,     ///< Normal model activity.
     kResponse = 10,     ///< Packet responses, after same-tick requests.
+    kRtlTick = 20,      ///< RTL model clock edges sample *after* every
+                        ///< same-tick packet delivery and event pulse, so a
+                        ///< tick rescheduled by a quiescence wake-up observes
+                        ///< exactly the state a free-running tick would.
     kSimExit = 100,     ///< Exit checks run after all activity at a tick.
 };
 

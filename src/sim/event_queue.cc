@@ -90,7 +90,12 @@ void EventQueue::serviceOne() {
 
     Event& ev = *top.event;
     simAssert(top.when >= curTick_, "event queue went backwards");
-    curTick_ = top.when;
+    if (top.when > curTick_) {
+        curTick_ = top.when;
+        passedPriority_ = top.priority;
+    } else if (top.priority > passedPriority_) {
+        passedPriority_ = top.priority;
+    }
     ev.scheduled_ = false;
     ++ev.generation_;
     --liveEvents_;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/event.hh"
@@ -41,6 +42,27 @@ public:
     /// Pop and process the next event, advancing curTick.
     void serviceOne();
 
+    /// Advance to the *end* of tick @p when without servicing anything.
+    /// Used by the run loop to land exactly on a finite run bound, so a
+    /// fully quiesced system (e.g. every RTL tick gated) still sees
+    /// simulated time pass. Marks every priority at @p when as passed.
+    /// No-op when @p when is in the past.
+    void advanceTo(Tick when) {
+        if (when < curTick_) return;
+        curTick_ = when;
+        passedPriority_ = kAllPriorities;
+    }
+
+    /// True when the dispatch position has moved past (@p when,
+    /// @p priority): a hypothetical event there would already have run.
+    /// Lets a wake path decide whether an ungated twin's tick at this very
+    /// edge would have fired by now — stimuli injected afterwards (e.g. an
+    /// embedder poking a bus between run() slices) must be sampled at the
+    /// *next* edge to keep gated and ungated timing identical.
+    bool hasPassed(Tick when, int priority) const {
+        return when < curTick_ || (when == curTick_ && priority <= passedPriority_);
+    }
+
     /// Total number of events processed so far.
     std::uint64_t numProcessed() const { return numProcessed_; }
 
@@ -67,9 +89,17 @@ private:
     void siftDown(std::size_t idx);
     void popStale();
 
+    /// Sentinel for passedPriority_: the whole tick is behind us.
+    static constexpr int kAllPriorities = std::numeric_limits<int>::max();
+
     std::vector<Entry> heap_;
     SimObserver* observer_ = nullptr;
     Tick curTick_ = 0;
+    /// Highest priority dispatched at curTick_ so far (-1: none yet).
+    /// Within one tick this only grows via dispatch order, except when an
+    /// embedder schedules a fresh low-priority event at the current tick —
+    /// the high-water mark keeps recording how far the tick had advanced.
+    int passedPriority_ = -1;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t numProcessed_ = 0;
     std::uint64_t liveEvents_ = 0;

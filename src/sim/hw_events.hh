@@ -5,10 +5,18 @@
 // misses, cycles) to the PMU RTL model's event inputs. Components pulse named
 // lines here; the RTLObject hosting the PMU drains the accumulated pulses on
 // each RTL clock tick and presents them as per-cycle event bits.
+//
+// A gated (quiescent) RTLObject does not tick, so it registers a wake
+// callback: the first pulse after a drain invokes every registered callback
+// once, which reschedules the consumer's tick. Subsequent pulses before the
+// next drain are free (a single branch), keeping the producer hot path flat.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
 
 namespace g5r {
 
@@ -26,23 +34,48 @@ public:
         kCycle = 5,
     };
 
-    /// Record @p count pulses on @p line since the last drain.
+    /// Record @p count pulses on @p line since the last drain. Saturates at
+    /// UINT32_MAX rather than wrapping: a consumer that drains rarely (or is
+    /// gated for a long stretch) must never see the count roll over and
+    /// under-report, e.g. PMU event totals.
     void pulse(unsigned line, std::uint32_t count = 1) {
-        if (line < kLines) pending_[line] += count;
+        if (line >= kLines || count == 0) return;
+        const std::uint32_t room =
+            std::numeric_limits<std::uint32_t>::max() - pending_[line];
+        pending_[line] += count < room ? count : room;
+        if (!hasPending_) {
+            hasPending_ = true;
+            for (const auto& wake : wakeCallbacks_) wake();
+        }
     }
 
     /// Read-and-clear all accumulated pulses.
     std::array<std::uint32_t, kLines> drain() {
         const auto out = pending_;
         pending_.fill(0);
+        hasPending_ = false;
         return out;
     }
+
+    /// True when any pulses arrived since the last drain.
+    bool hasPending() const { return hasPending_; }
 
     /// Peek without clearing (tests).
     const std::array<std::uint32_t, kLines>& peek() const { return pending_; }
 
+    /// Register a callback fired on the first pulse after each drain (the
+    /// empty -> non-empty transition). Callbacks must outlive the bus's
+    /// producers or be removed with clearWakeCallbacks().
+    void addWakeCallback(std::function<void()> cb) {
+        wakeCallbacks_.push_back(std::move(cb));
+    }
+
+    void clearWakeCallbacks() { wakeCallbacks_.clear(); }
+
 private:
     std::array<std::uint32_t, kLines> pending_{};
+    std::vector<std::function<void()>> wakeCallbacks_;
+    bool hasPending_ = false;
 };
 
 }  // namespace g5r

@@ -56,12 +56,21 @@ RunResult Simulation::run(Tick maxTick) {
 RunResult Simulation::runLoop(Tick maxTick) {
     while (!queue_.empty()) {
         if (queue_.nextTick() > maxTick) {
+            queue_.advanceTo(maxTick);
             return RunResult{ExitCause::kMaxTickReached, maxTick, {}};
         }
         queue_.serviceOne();
         if (exitRequested_) {
             return RunResult{ExitCause::kSimExit, queue_.curTick(), exitMessage_};
         }
+    }
+    // A bounded run behaves as if an exit event fired at maxTick: simulated
+    // time reaches the bound even when every object has quiesced (e.g. all
+    // RTL ticks gated), so callers observe the same clock gated or not.
+    // Unbounded runs keep the historical queue-exhausted result.
+    if (maxTick != kMaxTick) {
+        queue_.advanceTo(maxTick);
+        return RunResult{ExitCause::kMaxTickReached, maxTick, {}};
     }
     return RunResult{ExitCause::kQueueEmpty, queue_.curTick(), {}};
 }

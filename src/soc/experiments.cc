@@ -35,6 +35,7 @@ PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
         rp.clockPeriod = socCfg.coreClock;  // Count at core resolution (Fig. 5);
                                             // Table 1's 1 GHz ratio is exercised
                                             // in the overhead study instead.
+        rp.gateIdleTicks = config.gateIdleTicks;
         pmu = &soc.attachRtlModel("pmu", loadRtlModel("pmu"), rp, Soc::MemPorts::kNone,
                                   /*wireEventBus=*/true);
 
@@ -50,7 +51,9 @@ PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
                 return {static_cast<double>(core0.committedInstructions()),
                         static_cast<double>(core0.cyclesRetired()), misses};
             });
-        observer->setConfigWrites(PmuObserver::fig5Config(config.intervalCycles));
+        if (config.programPmu) {
+            observer->setConfigWrites(PmuObserver::fig5Config(config.intervalCycles));
+        }
         observer->port().bind(soc.addHostPort("pmu_observer"));
         pmu->setIrqCallback([&obs = *observer](bool level) { obs.onIrq(level); });
 
@@ -135,6 +138,7 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         RtlObjectParams rp;
         rp.clockPeriod = socCfg.rtlClock;  // NVDLA at 1 GHz (Table 1).
         rp.maxInflight = config.maxInflight;
+        rp.gateIdleTicks = config.gateIdleTicks;
         inst.rtl = &soc.attachRtlModel("nvdla" + std::to_string(i), loadRtlModel("nvdla"),
                                        rp,
                                        config.sramScratchpad

@@ -27,10 +27,15 @@ struct PmuRunConfig {
     workloads::SortBenchmarkLayout layout;  ///< Sort-benchmark sizing.
     std::uint64_t intervalCycles = 10'000;  ///< PMU interrupt period.
     bool attachPmu = true;                  ///< false = bare-gem5 baseline (Table 2).
+    bool programPmu = true;                 ///< false = attached but never configured:
+                                            ///< no counter enables, so the model is
+                                            ///< quiescent and idle-tick gating can
+                                            ///< skip it (Table 2's idle rows).
     std::string waveformPath;               ///< Non-empty = enable VCD tracing.
     MemTech memTech = MemTech::kDdr4_1ch;
     unsigned numCores = 8;
     Tick maxTicks = 200'000'000'000ULL;     ///< Safety net (200 ms simulated).
+    bool gateIdleTicks = true;              ///< Quiescence-gate the PMU tick.
     obs::ObsOptions obs;                    ///< Tracing/profiling for this run.
 };
 
@@ -68,6 +73,7 @@ struct DseRunConfig {
     bool sramScratchpad = false;            ///< Weights via a SRAMIF scratchpad
                                             ///< (the paper's proposed extension).
     Tick maxTicks = 2'000'000'000'000ULL;   ///< 2 s simulated safety net.
+    bool gateIdleTicks = true;              ///< Quiescence-gate accelerator ticks.
     obs::ObsOptions obs;                    ///< Tracing/profiling for this run.
 };
 

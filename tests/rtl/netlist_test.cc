@@ -56,6 +56,116 @@ TEST(Netlist, ComparisonsAndMux) {
     EXPECT_EQ(nl.output("min"), static_cast<std::uint64_t>(-5));
 }
 
+TEST(Netlist, SignedCompareHonorsNarrowWidths) {
+    // Regression: lt used to zero-extend the masked storage before the
+    // signed cast, so for any net narrower than 64 bits it behaved exactly
+    // like ltu (a 4-bit 0xF compared as 15, not -1).
+    Netlist nl{R"(
+        input a 4
+        input b 4
+        lt  s  a b
+        ltu u  a b
+    )"};
+    nl.setInput("a", 0xF);  // -1 as a 4-bit signed value.
+    nl.setInput("b", 0x3);  // +3.
+    nl.eval();
+    EXPECT_EQ(nl.probe("s"), 1u);  // -1 < 3 signed.
+    EXPECT_EQ(nl.probe("u"), 0u);  // 15 > 3 unsigned.
+    nl.setInput("a", 0x6);
+    nl.setInput("b", 0x9);  // -7 as 4-bit signed.
+    nl.eval();
+    EXPECT_EQ(nl.probe("s"), 0u);  // 6 > -7 signed.
+    EXPECT_EQ(nl.probe("u"), 1u);  // 6 < 9 unsigned.
+}
+
+TEST(Netlist, SignedCompareMixedWidths) {
+    // Each operand sign-extends from its own declared width.
+    Netlist nl{R"(
+        input a 4
+        input b 8
+        lt s a b
+    )"};
+    nl.setInput("a", 0x8);   // -8 in 4 bits.
+    nl.setInput("b", 0xF8);  // -8 in 8 bits.
+    nl.eval();
+    EXPECT_EQ(nl.probe("s"), 0u);  // Equal once both are sign-extended.
+    nl.setInput("b", 0xF9);        // -7.
+    nl.eval();
+    EXPECT_EQ(nl.probe("s"), 1u);  // -8 < -7.
+}
+
+TEST(Netlist, ActivityDrivenEvalSkipsQuietCones) {
+    Netlist nl{R"(
+        input a
+        input b
+        input c
+        add ab a b
+        add abc ab c
+        not nc c
+        output o abc
+    )"};
+    nl.setInput("a", 1);
+    nl.setInput("b", 2);
+    nl.setInput("c", 3);
+    nl.eval();
+    EXPECT_EQ(nl.lastEvalComputedNodes(), 3u);  // Cold start: everything.
+    EXPECT_EQ(nl.output("o"), 6u);
+
+    nl.eval();  // Nothing changed: full skip.
+    EXPECT_EQ(nl.lastEvalComputedNodes(), 0u);
+    EXPECT_EQ(nl.output("o"), 6u);
+
+    nl.setInput("a", 10);  // Touches ab and abc, but not nc.
+    nl.eval();
+    EXPECT_EQ(nl.lastEvalComputedNodes(), 2u);
+    EXPECT_EQ(nl.output("o"), 15u);
+
+    nl.setInput("a", 10);  // Unchanged value: still a full skip.
+    nl.eval();
+    EXPECT_EQ(nl.lastEvalComputedNodes(), 0u);
+}
+
+TEST(Netlist, ActivityDrivenEvalStopsWhenValuesRecomputeEqual) {
+    // b changes but a&b recomputes to the same value, so the downstream
+    // not-gate never re-evaluates.
+    Netlist nl{R"(
+        input a
+        input b
+        and ab a b
+        not nab ab
+        output o nab
+    )"};
+    nl.setInput("a", 0);
+    nl.setInput("b", 1);
+    nl.eval();
+    const std::uint64_t first = nl.output("o");
+    nl.setInput("b", 3);  // ab stays 0.
+    nl.eval();
+    EXPECT_EQ(nl.lastEvalComputedNodes(), 1u);  // Only ab recomputed.
+    EXPECT_EQ(nl.output("o"), first);
+}
+
+TEST(Netlist, ActivityDrivenEvalTracksRegisterLatches) {
+    // Accumulator with a constant increment: every tick changes acc, so the
+    // adder must recompute every tick even with inputs untouched.
+    Netlist nl{R"(
+        const one 1
+        add next acc one
+        reg acc next 0
+        output sum acc
+    )"};
+    for (int i = 1; i <= 5; ++i) {
+        nl.tick();
+        EXPECT_EQ(nl.probe("acc"), static_cast<std::uint64_t>(i));
+    }
+    nl.eval();
+    nl.reset();
+    nl.eval();
+    EXPECT_EQ(nl.output("sum"), 0u);
+    nl.tick();
+    EXPECT_EQ(nl.probe("acc"), 1u);  // Counting resumes after reset.
+}
+
 TEST(Netlist, RegistersLatchOnTick) {
     // Accumulator: acc <= acc + in.
     Netlist nl{R"(

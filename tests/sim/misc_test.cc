@@ -2,6 +2,7 @@
 // the hardware event bus, and kernel invariant enforcement (death tests).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sim/event_queue.hh"
@@ -44,6 +45,41 @@ TEST(HwEventBus, AccumulatesAndDrains) {
     EXPECT_EQ(drained[HwEventBus::kCommit0], 4u);
     EXPECT_EQ(drained[HwEventBus::kL1dMiss], 1u);
     EXPECT_EQ(bus.peek()[HwEventBus::kCommit0], 0u);
+}
+
+TEST(HwEventBus, PulseSaturatesInsteadOfWrapping) {
+    // Regression: the count used to wrap at 2^32, so a consumer that drains
+    // rarely (e.g. while quiescence-gated) could under-read its total.
+    HwEventBus bus;
+    const auto max = std::numeric_limits<std::uint32_t>::max();
+    bus.pulse(HwEventBus::kCommit0, max - 2);
+    bus.pulse(HwEventBus::kCommit0, 5);  // Would wrap to 2.
+    EXPECT_EQ(bus.peek()[HwEventBus::kCommit0], max);
+    bus.pulse(HwEventBus::kCommit0);     // Already saturated: stays put.
+    EXPECT_EQ(bus.peek()[HwEventBus::kCommit0], max);
+    EXPECT_EQ(bus.drain()[HwEventBus::kCommit0], max);
+    EXPECT_EQ(bus.peek()[HwEventBus::kCommit0], 0u);
+}
+
+TEST(HwEventBus, WakeCallbackFiresOnEmptyToNonEmptyOnly) {
+    HwEventBus bus;
+    int wakes = 0;
+    bus.addWakeCallback([&] { ++wakes; });
+    EXPECT_FALSE(bus.hasPending());
+    bus.pulse(HwEventBus::kCommit0);
+    EXPECT_EQ(wakes, 1);
+    EXPECT_TRUE(bus.hasPending());
+    bus.pulse(HwEventBus::kCommit0);     // Still pending: no second wake.
+    bus.pulse(HwEventBus::kL1dMiss);
+    EXPECT_EQ(wakes, 1);
+    bus.drain();
+    EXPECT_FALSE(bus.hasPending());
+    bus.pulse(HwEventBus::kCycle);       // Fresh transition: wakes again.
+    EXPECT_EQ(wakes, 2);
+    bus.pulse(HwEventBus::kCycle, 0);    // Zero pulses never wake.
+    bus.drain();
+    bus.pulse(HwEventBus::kCycle, 0);
+    EXPECT_EQ(wakes, 2);
 }
 
 TEST(Simulation, DumpStatsListsEveryObject) {
