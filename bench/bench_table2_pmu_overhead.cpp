@@ -26,6 +26,7 @@
 
 #include "exp/bench_report.hh"
 #include "exp/runner.hh"
+#include "obs/diff.hh"
 #include "soc/experiments.hh"
 
 using namespace g5r;
@@ -75,6 +76,34 @@ struct Cell {
     bool program;
     int rep;
 };
+
+// When the gated/ungated final-tick identity check fails, re-run just the
+// mismatched pair with flight recording on and localize the first divergent
+// interval. This happens after every timed run, so the recorder's cost never
+// pollutes the wall-clock measurements. Packet lane only: gating removes
+// dispatches by design, but the memory traffic must be identical.
+void reportGatingDivergence(std::uint64_t baseElems, bool program, int rep) {
+    const auto runRecorded = [&](bool gate) {
+        experiments::PmuRunConfig cfg;
+        cfg.layout.baseElems = baseElems;
+        cfg.layout.sleepNs = 20'000;
+        cfg.numCores = 1;
+        cfg.attachPmu = true;
+        cfg.programPmu = program;
+        cfg.gateIdleTicks = gate;
+        cfg.obs.recordEnabled = true;
+        cfg.obs.recordPath = "/tmp/g5r_table2_" + std::to_string(baseElems) + "_" +
+                             std::to_string(rep) + (gate ? "_gated" : "_ungated") +
+                             ".g5rec";
+        const auto result = experiments::runPmuSortExperiment(cfg);
+        return result.recordPath;
+    };
+    const std::string gated = runRecorded(true);
+    const std::string ungated = runRecorded(false);
+    const auto rep2 =
+        obs::diffRecordingFiles(gated, ungated, obs::DiffLane::kPacketsOnly);
+    std::printf("%s\n", obs::formatDivergenceReport(rep2, "gated", "ungated").c_str());
+}
 
 }  // namespace
 
@@ -200,6 +229,13 @@ int main(int argc, char** argv) {
             }
             if (outcomes[i].ok && outcomes[j].ok &&
                 outcomes[i].value.finalTick != outcomes[j].value.finalTick) {
+                if (gatingTimingNeutral) {
+                    std::printf("\n# gating broke timing at %s/%zu elems: localizing "
+                                "via flight recordings...\n",
+                                cells[i].sizeLabel, cells[i].baseElems);
+                    reportGatingDivergence(cells[i].baseElems, cells[i].program,
+                                           cells[i].rep);
+                }
                 gatingTimingNeutral = false;
             }
         }

@@ -19,6 +19,7 @@
 
 #include "exp/bench_report.hh"
 #include "models/nvdla/standalone.hh"
+#include "obs/diff.hh"
 #include "soc/experiments.hh"
 #include "soc/model_loader.hh"
 
@@ -76,6 +77,33 @@ SocOutcome socRun(const models::NvdlaShape& shape, MemTech tech, int reps, bool 
     }
     out.wallSeconds = total / reps;
     return out;
+}
+
+// Localize a gated/ungated runtimeTicks mismatch: re-run the pair once with
+// flight recording enabled (after all timed runs, so the recorder cannot
+// pollute the measurements) and print the first divergent interval. Packet
+// lane only — gating removes dispatches by design; memory traffic must not
+// change.
+void reportGatingDivergence(const char* workload, const models::NvdlaShape& shape,
+                            MemTech tech) {
+    const auto runRecorded = [&](bool gate) {
+        experiments::DseRunConfig cfg;
+        cfg.shape = shape;
+        cfg.memTech = tech;
+        cfg.numCores = 1;
+        cfg.maxInflight = 240;
+        cfg.gateIdleTicks = gate;
+        cfg.obs.recordEnabled = true;
+        cfg.obs.recordPath = std::string{"/tmp/g5r_table3_"} + workload +
+                             (gate ? "_gated" : "_ungated") + ".g5rec";
+        const auto result = experiments::runNvdlaDse(cfg);
+        return result.recordPath;
+    };
+    const std::string gated = runRecorded(true);
+    const std::string ungated = runRecorded(false);
+    const auto rep =
+        obs::diffRecordingFiles(gated, ungated, obs::DiffLane::kPacketsOnly);
+    std::printf("%s\n", obs::formatDivergenceReport(rep, "gated", "ungated").c_str());
 }
 
 }  // namespace
@@ -151,8 +179,24 @@ int main() {
           "overhead is larger for the short Sanity3 run (trace-load dominates)");
     bool timingNeutral = true;
     for (int w = 0; w < 2; ++w) {
-        if (perfect[w].runtimeTicks != perfectUngated[w].runtimeTicks) timingNeutral = false;
-        if (ddr[w].runtimeTicks != ddrUngated[w].runtimeTicks) timingNeutral = false;
+        if (perfect[w].runtimeTicks != perfectUngated[w].runtimeTicks) {
+            if (timingNeutral) {
+                std::printf("\n# gating broke timing (%s, perfect memory): localizing "
+                            "via flight recordings...\n", workloads[w].name);
+                reportGatingDivergence(workloads[w].name, workloads[w].shape,
+                                       MemTech::kIdeal);
+            }
+            timingNeutral = false;
+        }
+        if (ddr[w].runtimeTicks != ddrUngated[w].runtimeTicks) {
+            if (timingNeutral) {
+                std::printf("\n# gating broke timing (%s, DDR4-4ch): localizing "
+                            "via flight recordings...\n", workloads[w].name);
+                reportGatingDivergence(workloads[w].name, workloads[w].shape,
+                                       MemTech::kDdr4_4ch);
+            }
+            timingNeutral = false;
+        }
     }
     check(timingNeutral, "idle-tick gating is timing-neutral (identical runtimeTicks)");
 

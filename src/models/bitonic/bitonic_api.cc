@@ -15,13 +15,16 @@
 // A sort takes one cycle per network stage (the pipeline depth of the
 // combinational network if it were registered), so timing scales with
 // log^2(N) like the real design would.
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bridge/rtl_api.h"
+#include "obs/trigger.hh"
 #include "rtl/netlist.hh"
+#include "rtl/vcd.hh"
 
 namespace g5r::models {
 namespace {
@@ -96,10 +99,31 @@ public:
 
         out.irq = done_ ? 1 : 0;
         out.done = done_ ? 1 : 0;
-        // Idle whenever the sort pipeline is not counting down and no CSB
-        // read awaits its reply beat: with stable inputs nothing changes.
-        out.idle_hint = busyCycles_ == 0 && !readPending_ ? 1 : 0;
+        // Idle whenever the sort pipeline is not counting down, no CSB
+        // read awaits its reply beat, and no armed trigger capture needs to
+        // see every cycle: with stable inputs nothing changes.
+        out.idle_hint = busyCycles_ == 0 && !readPending_ &&
+                                (capture_ == nullptr || !capture_->active())
+                            ? 1
+                            : 0;
+        ++cycle_;
+        if (capture_ != nullptr) capture_->cycle(cycle_);
     }
+
+    int traceStart(const char* path) {
+        // The GHDL path has no always-on runtime VCD toggling (as in the
+        // paper), but trigger-windowed capture works on interpreted
+        // netlists: GEM5RTL_TRIGGER watches any named net.
+        if (const char* spec = std::getenv("GEM5RTL_TRIGGER"); spec != nullptr &&
+                                                               *spec != '\0') {
+            capture_ = obs::TriggerCapture::fromSpecString(spec, path,
+                                                           rtl::netlistSignals(netlist_));
+            return capture_ != nullptr ? 0 : 1;
+        }
+        return 1;
+    }
+
+    void traceStop() { capture_.reset(); }
 
 private:
     void writeReg(std::uint64_t addr, std::uint64_t data) {
@@ -129,6 +153,8 @@ private:
     bool done_ = false;
     bool readPending_ = false;
     std::uint64_t readAddr_ = 0;
+    std::uint64_t cycle_ = 0;
+    std::unique_ptr<obs::TriggerCapture> capture_;
 };
 
 void* bitonicCreate(const char* config) {
@@ -143,8 +169,10 @@ void bitonicReset(void* model) { static_cast<BitonicWrapper*>(model)->reset(); }
 void bitonicTick(void* model, const G5rRtlInput* in, G5rRtlOutput* out) {
     static_cast<BitonicWrapper*>(model)->tick(*in, *out);
 }
-int bitonicTraceStart(void*, const char*) { return 1; }  // GHDL path: no runtime VCD
-void bitonicTraceStop(void*) {}                          // toggling (as in the paper).
+int bitonicTraceStart(void* model, const char* path) {
+    return static_cast<BitonicWrapper*>(model)->traceStart(path);
+}
+void bitonicTraceStop(void* model) { static_cast<BitonicWrapper*>(model)->traceStop(); }
 
 constexpr G5rRtlModelApi kBitonicApi = {
     G5R_RTL_ABI_VERSION, "bitonic",

@@ -11,6 +11,7 @@
 // The PMU's clock is wired to event line HwEventBus::kCycle internally (the
 // paper: "we have also connected the clock as a PMU event"), so thresholds
 // on that line produce periodic interrupts.
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include "axi/axi_lite.hh"
 #include "bridge/rtl_api.h"
 #include "models/pmu/pmu_design.hh"
+#include "obs/trigger.hh"
 #include "rtl/vcd.hh"
 #include "sim/hw_events.hh"
 
@@ -76,14 +78,26 @@ public:
 
         out.irq = design_.irqAsserted() ? 1 : 0;
         // Idle only when the design is insensitive to further idle cycles,
-        // the AXI endpoint holds no half-finished transaction, and no VCD is
-        // recording (skipped cycles would be missing from the dump).
-        out.idle_hint =
-            design_.quiescent() && axi_.idle() && vcd_ == nullptr ? 1 : 0;
+        // the AXI endpoint holds no half-finished transaction, and no VCD or
+        // armed trigger capture is recording (skipped cycles would be
+        // missing from the dump / unseen by the watchpoint).
+        out.idle_hint = design_.quiescent() && axi_.idle() && vcd_ == nullptr &&
+                                (capture_ == nullptr || !capture_->active())
+                            ? 1
+                            : 0;
         if (vcd_ != nullptr) vcd_->dumpCycle(cycle_);
+        if (capture_ != nullptr) capture_->cycle(cycle_);
     }
 
     int traceStart(const char* path) {
+        // GEM5RTL_TRIGGER arms a windowed capture instead of always-on
+        // tracing: the VCD file appears only if the watchpoint fires.
+        if (const char* spec = std::getenv("GEM5RTL_TRIGGER"); spec != nullptr &&
+                                                               *spec != '\0') {
+            capture_ = obs::TriggerCapture::fromSpecString(spec, path,
+                                                           rtl::moduleSignals(design_));
+            return capture_ != nullptr ? 0 : 1;
+        }
         vcd_ = std::make_unique<rtl::VcdWriter>(path, design_);
         if (!vcd_->ok()) {
             vcd_.reset();
@@ -92,12 +106,16 @@ public:
         return 0;
     }
 
-    void traceStop() { vcd_.reset(); }
+    void traceStop() {
+        vcd_.reset();
+        capture_.reset();
+    }
 
 private:
     PmuDesign design_;
     axi::AxiLiteSlave axi_;
     std::unique_ptr<rtl::VcdWriter> vcd_;
+    std::unique_ptr<obs::TriggerCapture> capture_;
     std::uint64_t cycle_ = 0;
 };
 

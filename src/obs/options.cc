@@ -29,6 +29,19 @@ ObsOptions ObsOptions::fromEnv(ObsOptions base) {
         const long long v = std::strtoll(env, nullptr, 10);
         if (v >= 1) base.counterIntervalTicks = static_cast<Tick>(v);
     }
+    if (const char* env = std::getenv("GEM5RTL_RECORD")) {
+        const std::string_view v{env};
+        if (v.empty() || v == "0") {
+            base.recordEnabled = false;
+        } else {
+            base.recordEnabled = true;
+            if (v != "1") base.recordDir = std::string{v};
+        }
+    }
+    if (const char* env = std::getenv("GEM5RTL_RECORD_INTERVAL")) {
+        const long long v = std::strtoll(env, nullptr, 10);
+        if (v >= 1) base.recordIntervalTicks = static_cast<Tick>(v);
+    }
     return base;
 }
 

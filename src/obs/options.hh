@@ -11,6 +11,10 @@
 //   GEM5RTL_PROFILE=1        per-SimObject host-time profile
 //   GEM5RTL_PROFILE_STRIDE=N time every Nth dispatch (default 1 = all)
 //   GEM5RTL_TRACE_INTERVAL=T counter sample interval in ticks
+//   GEM5RTL_RECORD=1         write <run>.g5rec flight recording here
+//   GEM5RTL_RECORD=<dir>     write it to <dir> (created by the caller)
+//   GEM5RTL_RECORD=0         force recording off
+//   GEM5RTL_RECORD_INTERVAL=T digest interval in ticks
 #pragma once
 
 #include <string>
@@ -37,7 +41,25 @@ struct ObsOptions {
     /// Simulated-time interval between counter samples in the trace.
     Tick counterIntervalTicks = 1'000'000;  // 1 us of simulated time.
 
-    bool anyEnabled() const { return traceEnabled || profileEnabled; }
+    /// Write a flight recording (.g5rec sidecar) of the dispatch and packet
+    /// streams; see obs/recording.hh for the format.
+    bool recordEnabled = false;
+
+    /// Directory the recording is written into ("." = current directory).
+    std::string recordDir = ".";
+
+    /// Exact recording path; overrides recordDir when non-empty. Lets a
+    /// harness record two runs of the same label to different files.
+    std::string recordPath;
+
+    /// Simulated-time interval covered by one digest record.
+    Tick recordIntervalTicks = 1'000'000;  // 1 us of simulated time.
+
+    /// Depth of the always-on black-box ring (last K dispatches/packets
+    /// dumped by panic()). Active whenever recording is enabled.
+    unsigned blackBoxDepth = 64;
+
+    bool anyEnabled() const { return traceEnabled || profileEnabled || recordEnabled; }
 
     /// Overlay the GEM5RTL_* environment variables (see header comment)
     /// onto @p base. The environment wins where set, so a benchmark run

@@ -22,7 +22,7 @@ std::string sanitize(std::string_view runName) {
     return out;
 }
 
-std::string traceFileName(std::string_view runName) {
+std::string runFileBase(std::string_view runName) {
     std::string base = sanitize(runName);
     if (base.empty()) {
         // Parallel sweeps create many unnamed sessions; give each its own
@@ -30,7 +30,14 @@ std::string traceFileName(std::string_view runName) {
         static std::atomic<std::uint64_t> counter{0};
         base = "run" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
     }
-    return base + ".trace.json";
+    return base;
+}
+
+std::string joinDir(const std::string& dir, std::string file) {
+    std::string path = dir.empty() ? std::string{"."} : dir;
+    if (path.back() != '/') path += '/';
+    path += std::move(file);
+    return path;
 }
 
 }  // namespace
@@ -64,17 +71,27 @@ ObsSession::ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view
       stride_(opts.profileStride ? opts.profileStride : 1),
       t0_(Clock::now()) {
     if (opts.profileEnabled) profiler_ = std::make_unique<HostProfiler>(stride_);
+    const std::string base = (opts.traceEnabled || opts.recordEnabled) ? runFileBase(runName)
+                                                                       : std::string{};
     if (opts.traceEnabled) {
-        std::string path = opts.traceDir.empty() ? std::string{"."} : opts.traceDir;
-        if (path.back() != '/') path += '/';
-        path += traceFileName(runName);
-        trace_ = std::make_unique<TraceSession>(std::move(path));
+        trace_ = std::make_unique<TraceSession>(joinDir(opts.traceDir, base + ".trace.json"));
+    }
+    if (opts.recordEnabled) {
+        std::string path = !opts.recordPath.empty()
+                               ? opts.recordPath
+                               : joinDir(opts.recordDir, base + ".g5rec");
+        recorder_ = std::make_unique<Recorder>(std::move(path), std::string{runName},
+                                               opts.recordIntervalTicks, opts.blackBoxDepth);
     }
 
     // Slot 0 catches events whose name matches no registered object;
     // object slots are handed out lazily by slotFor().
     if (profiler_) profiler_->addSlot("(unattributed)");
-    if (trace_) trace_->threadName(0, "(unattributed)");
+    if (trace_) {
+        trace_->processName(runName.empty() ? std::string_view{"g5r"} : runName);
+        trace_->threadName(0, "(unattributed)");
+    }
+    if (recorder_) recorder_->noteObjectName(0, "(unattributed)");
     nextCounterTick_ = sim.curTick();
     sim.setObserver(this);
 }
@@ -91,6 +108,7 @@ void ObsSession::finish() {
     finished_ = true;
     if (profiler_) report_ = std::make_shared<const ProfileReport>(profiler_->report());
     if (trace_) trace_->finish();
+    if (recorder_) recorder_->finish(sim_.curTick());
 }
 
 int ObsSession::slotFor(const SimObject& obj) {
@@ -100,6 +118,7 @@ int ObsSession::slotFor(const SimObject& obj) {
     slotByObject_.emplace(&obj, slot);
     if (profiler_) profiler_->addSlot(obj.name());
     if (trace_) trace_->threadName(slot, obj.name());
+    if (recorder_) recorder_->noteObjectName(slot, obj.name());
     return slot;
 }
 
@@ -123,7 +142,7 @@ const ObsSession::Owner& ObsSession::resolve(const Event& ev) {
         bestLen = objName.size();
     }
     const int slot = best != nullptr ? slotFor(*best) : 0;
-    return ownerCache_.emplace(&ev, Owner{slot, evName}).first->second;
+    return ownerCache_.emplace(&ev, Owner{slot, evName, digestOf(evName)}).first->second;
 }
 
 void ObsSession::runBegin() { runStart_ = Clock::now(); }
@@ -133,6 +152,9 @@ void ObsSession::runEnd() {
         profiler_->addRunSeconds(
             std::chrono::duration<double>(Clock::now() - runStart_).count());
     }
+    // Flush a final counter sample so the tail interval — which may hold
+    // most of a short run's activity — is not silently dropped.
+    if (trace_ && !counters_.empty()) sampleCounters(sim_.curTick());
 }
 
 void ObsSession::dispatchBegin(const Event& ev, Tick when) {
@@ -141,6 +163,7 @@ void ObsSession::dispatchBegin(const Event& ev, Tick when) {
     curSlot_ = owner.slot;
     curLabel_ = &owner.label;
     if (profiler_) profiler_->countDispatch(curSlot_);
+    if (recorder_) recorder_->recordDispatch(when, curSlot_, owner.label, owner.labelHash);
     if (trace_ && !counters_.empty() && when >= nextCounterTick_) sampleCounters(when);
 
     // Tracing needs every span timed; profiling alone only every Nth.
@@ -174,21 +197,25 @@ void ObsSession::sampleCounters(Tick when) {
     nextCounterTick_ = when + counterInterval_;
 }
 
-void ObsSession::packetIssued(std::uint64_t id, std::uint64_t /*addr*/, unsigned /*size*/,
-                              bool /*isRead*/) {
+void ObsSession::packetIssued(std::uint64_t id, std::uint64_t addr, unsigned size,
+                              bool isRead) {
     if (trace_) trace_->flowBegin(id, curSlot_, relUs(Clock::now()));
+    if (recorder_) recorder_->recordPacket(curTick_, curSlot_, 'I', id, addr, size, isRead);
 }
 
 void ObsSession::packetForwarded(std::uint64_t id) {
     if (trace_) trace_->flowStep(id, curSlot_, relUs(Clock::now()));
+    if (recorder_) recorder_->recordPacket(curTick_, curSlot_, 'F', id, 0, 0, false);
 }
 
 void ObsSession::packetResponded(std::uint64_t id) {
     if (trace_) trace_->flowStep(id, curSlot_, relUs(Clock::now()));
+    if (recorder_) recorder_->recordPacket(curTick_, curSlot_, 'R', id, 0, 0, false);
 }
 
 void ObsSession::packetCompleted(std::uint64_t id) {
     if (trace_) trace_->flowEnd(id, curSlot_, relUs(Clock::now()));
+    if (recorder_) recorder_->recordPacket(curTick_, curSlot_, 'C', id, 0, 0, false);
 }
 
 }  // namespace g5r::obs

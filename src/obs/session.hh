@@ -2,7 +2,7 @@
 //
 // One session per Simulation (and per thread — the one-thread-per-run model
 // of src/exp/ carries over). It fans the observer callbacks out to up to
-// two sinks, each individually optional:
+// three sinks, each individually optional:
 //
 //   * TraceSession  — Chrome/Perfetto trace: one "X" span per event
 //     dispatch on the owning SimObject's track, counter samples on a
@@ -10,6 +10,9 @@
 //     issue to completion.
 //   * HostProfiler  — wall-time attribution per SimObject, folded into
 //     rtl/memory/core/other/queue buckets for the fig. 6/7 overhead story.
+//   * Recorder      — flight recording: interval digests of the dispatch
+//     and packet streams to a .g5rec sidecar for g5r-diff, plus the
+//     black-box ring panic() dumps.
 //
 // Event -> SimObject attribution works by name: event names in this
 // codebase are "<object>.<what>" ("system.membus.reqDeliver.dbbif"), so the
@@ -32,6 +35,7 @@
 
 #include "obs/options.hh"
 #include "obs/profiler.hh"
+#include "obs/recorder.hh"
 #include "obs/trace_session.hh"
 #include "sim/observer.hh"
 
@@ -79,6 +83,7 @@ public:
     void finish();
 
     TraceSession* trace() { return trace_.get(); }
+    Recorder* recorder() { return recorder_.get(); }
     bool profiling() const { return profiler_ != nullptr; }
 
     /// The profile report; non-null only after finish() when profiling.
@@ -100,7 +105,8 @@ private:
 
     struct Owner {
         int slot;
-        std::string label;  ///< Span name: the event's own name.
+        std::string label;       ///< Span name: the event's own name.
+        std::uint64_t labelHash;  ///< digestOf(label), for the recorder.
     };
 
     ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view runName);
@@ -115,6 +121,7 @@ private:
     Simulation& sim_;
     std::unique_ptr<TraceSession> trace_;
     std::unique_ptr<HostProfiler> profiler_;
+    std::unique_ptr<Recorder> recorder_;
     std::shared_ptr<const ProfileReport> report_;
 
     /// Slot 0 is "(unattributed)"; object slots are allocated lazily the

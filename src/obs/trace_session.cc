@@ -155,6 +155,18 @@ void TraceSession::threadName(int tid, std::string_view name) {
     emit(line);
 }
 
+void TraceSession::processName(std::string_view name) {
+    if (!ok_ || finished_) return;
+    std::string line;
+    line.reserve(96 + name.size());
+    line += "{\"ph\":\"M\",\"pid\":";
+    line += std::to_string(kPid);
+    line += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+    appendEscaped(line, name);
+    line += "}}";
+    emit(line);
+}
+
 void TraceSession::finish() {
     if (finished_) return;
     finished_ = true;

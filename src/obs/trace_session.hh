@@ -58,6 +58,10 @@ public:
     /// ph "M" thread_name: label track @p tid (call once per track).
     void threadName(int tid, std::string_view name);
 
+    /// ph "M" process_name: label the whole process group with the run
+    /// name, so Perfetto shows it instead of a raw pid (call once).
+    void processName(std::string_view name);
+
     /// Close the traceEvents array and the file. Idempotent; also run by
     /// the destructor.
     void finish();

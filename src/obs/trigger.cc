@@ -1,0 +1,176 @@
+#include "obs/trigger.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace g5r::obs {
+
+namespace {
+
+bool parseU64(std::string_view s, std::uint64_t* out) {
+    if (s.empty()) return false;
+    const std::string str{s};
+    char* end = nullptr;
+    const int base = str.size() > 2 && str[0] == '0' && (str[1] == 'x' || str[1] == 'X') ? 16 : 10;
+    const unsigned long long v = std::strtoull(str.c_str(), &end, base);
+    if (end == nullptr || *end != '\0') return false;
+    *out = v;
+    return true;
+}
+
+void setError(std::string* error, std::string what) {
+    if (error != nullptr) *error = std::move(what);
+}
+
+}  // namespace
+
+std::optional<TriggerSpec> TriggerSpec::parse(std::string_view spec, std::string* error) {
+    TriggerSpec out;
+
+    // Split off the optional "@pre,post" window suffix first.
+    std::string_view body = spec;
+    const std::size_t at = body.rfind('@');
+    if (at != std::string_view::npos) {
+        const std::string_view window = body.substr(at + 1);
+        body = body.substr(0, at);
+        const std::size_t comma = window.find(',');
+        if (comma == std::string_view::npos ||
+            !parseU64(window.substr(0, comma), &out.preTriggerCycles) ||
+            !parseU64(window.substr(comma + 1), &out.postTriggerCycles)) {
+            setError(error, "bad trigger window '" + std::string{window} +
+                                "' (expected @<pre>,<post>)");
+            return std::nullopt;
+        }
+    }
+
+    if (const std::size_t eq = body.find("=="); eq != std::string_view::npos) {
+        out.signal = std::string{body.substr(0, eq)};
+        out.kind = Kind::kValueEquals;
+        if (!parseU64(body.substr(eq + 2), &out.value)) {
+            setError(error, "bad trigger value in '" + std::string{body} + "'");
+            return std::nullopt;
+        }
+    } else if (const std::size_t colon = body.rfind(':'); colon != std::string_view::npos) {
+        out.signal = std::string{body.substr(0, colon)};
+        const std::string_view kind = body.substr(colon + 1);
+        if (kind == "change") {
+            out.kind = Kind::kAnyChange;
+        } else if (kind == "rise") {
+            out.kind = Kind::kRisingEdge;
+        } else {
+            setError(error, "unknown trigger kind '" + std::string{kind} +
+                                "' (expected change or rise)");
+            return std::nullopt;
+        }
+    } else {
+        setError(error, "bad trigger spec '" + std::string{spec} +
+                            "' (expected <signal>==<K>, <signal>:change, or <signal>:rise)");
+        return std::nullopt;
+    }
+    if (out.signal.empty()) {
+        setError(error, "empty signal name in trigger spec");
+        return std::nullopt;
+    }
+    return out;
+}
+
+TriggerCapture::TriggerCapture(TriggerSpec spec, std::string vcdPath,
+                               std::vector<rtl::VcdSignal> signals, std::uint64_t timescalePs)
+    : spec_(std::move(spec)),
+      vcdPath_(std::move(vcdPath)),
+      signals_(std::move(signals)),
+      timescalePs_(timescalePs) {
+    bool found = false;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        if (signals_[i].name == spec_.signal ||
+            signals_[i].scope + "." + signals_[i].name == spec_.signal) {
+            watchIndex_ = i;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        throw std::invalid_argument("trigger signal '" + spec_.signal +
+                                    "' not found in capture set");
+    }
+    if (spec_.preTriggerCycles > 0) ring_.resize(spec_.preTriggerCycles);
+    cur_.resize(signals_.size());
+}
+
+TriggerCapture::~TriggerCapture() = default;
+
+bool TriggerCapture::conditionFires(std::uint64_t watchValue) {
+    switch (spec_.kind) {
+    case TriggerSpec::Kind::kValueEquals: return watchValue == spec_.value;
+    case TriggerSpec::Kind::kAnyChange: return havePrev_ && watchValue != prevWatch_;
+    case TriggerSpec::Kind::kRisingEdge:
+        return havePrev_ && prevWatch_ == 0 && watchValue != 0;
+    }
+    return false;
+}
+
+void TriggerCapture::cycle(std::uint64_t cycleNumber) {
+    if (done_) return;
+    for (std::size_t i = 0; i < signals_.size(); ++i) cur_[i] = signals_[i].read();
+
+    if (!fired_) {
+        const std::uint64_t watch = cur_[watchIndex_];
+        const bool fires = conditionFires(watch);
+        prevWatch_ = watch;
+        havePrev_ = true;
+        if (!fires) {
+            if (!ring_.empty()) {
+                Snapshot& slot = ring_[ringNext_];
+                slot.cycle = cycleNumber;
+                slot.values = cur_;
+                ringNext_ = (ringNext_ + 1) % ring_.size();
+                if (ringCount_ < ring_.size()) ++ringCount_;
+            }
+            return;
+        }
+        fire(cycleNumber);
+        return;
+    }
+
+    writer_->dumpCycleValues(cycleNumber, cur_);
+    if (postLeft_ == 0 || --postLeft_ == 0) finishCapture();
+}
+
+void TriggerCapture::fire(std::uint64_t cycleNumber) {
+    fired_ = true;
+    firedCycle_ = cycleNumber;
+    // The writer — and the file — exist only from this point: an un-fired
+    // trigger costs no I/O at all.
+    writer_ = std::make_unique<rtl::VcdWriter>(vcdPath_, signals_, timescalePs_);
+    const std::size_t start = ringCount_ < ring_.size() ? 0 : ringNext_;
+    for (std::size_t i = 0; i < ringCount_; ++i) {
+        const Snapshot& snap = ring_[(start + i) % ring_.size()];
+        writer_->dumpCycleValues(snap.cycle, snap.values);
+    }
+    writer_->dumpCycleValues(cycleNumber, cur_);
+    postLeft_ = spec_.postTriggerCycles;
+    if (postLeft_ == 0) finishCapture();
+}
+
+void TriggerCapture::finishCapture() {
+    done_ = true;
+    writer_.reset();  // Closes (and flushes) the file.
+    ring_.clear();
+    ring_.shrink_to_fit();
+}
+
+std::unique_ptr<TriggerCapture> TriggerCapture::fromSpecString(
+    std::string_view specString, std::string vcdPath, std::vector<rtl::VcdSignal> signals,
+    std::uint64_t timescalePs, std::string* error) {
+    const std::optional<TriggerSpec> spec = TriggerSpec::parse(specString, error);
+    if (!spec) return nullptr;
+    try {
+        return std::make_unique<TriggerCapture>(*spec, std::move(vcdPath), std::move(signals),
+                                                timescalePs);
+    } catch (const std::invalid_argument& e) {
+        setError(error, e.what());
+        return nullptr;
+    }
+}
+
+}  // namespace g5r::obs

@@ -1,0 +1,119 @@
+// Trigger-windowed waveform capture.
+//
+// Always-on VCD tracing is far too expensive for Table 2/3-scale runs, so
+// this layer makes hardware-level waveforms cost (almost) nothing until the
+// condition of interest fires: a TriggerSpec watchpoint on one signal —
+// value==K, any-change, or rising-edge — is polled once per cycle while a
+// ring of pre-trigger value snapshots is maintained in memory. When the
+// watchpoint fires, the VcdWriter is constructed *then*: the ring is
+// replayed into it (pre-trigger history), the firing cycle is dumped, and
+// capture continues live for the post-trigger window. A run whose trigger
+// never fires writes no file at all.
+//
+// Spec string syntax (GEM5RTL_TRIGGER for the bundled models):
+//
+//   <signal>==<K>[@pre,post]     fire when the signal's value equals K
+//   <signal>:change[@pre,post]   fire on any value change
+//   <signal>:rise[@pre,post]     fire on zero -> non-zero
+//
+// K is decimal or 0x-hex; pre/post are cycle counts for the capture window
+// (defaults 16 and 64). Signal names match the VcdSignal's name or its
+// "scope.name" path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtl/vcd.hh"
+
+namespace g5r::obs {
+
+struct TriggerSpec {
+    enum class Kind { kValueEquals, kAnyChange, kRisingEdge };
+
+    std::string signal;
+    Kind kind = Kind::kAnyChange;
+    std::uint64_t value = 0;  ///< Comparand for kValueEquals.
+    std::uint64_t preTriggerCycles = 16;
+    std::uint64_t postTriggerCycles = 64;
+
+    /// Parse the spec syntax above. On failure returns nullopt and, when
+    /// @p error is non-null, stores the reason.
+    static std::optional<TriggerSpec> parse(std::string_view spec, std::string* error = nullptr);
+};
+
+class TriggerCapture {
+public:
+    /// Watch @p spec.signal within @p signals (the full capture set) and
+    /// write the window to @p vcdPath when it fires. Throws
+    /// std::invalid_argument when the watched signal is not in the list.
+    TriggerCapture(TriggerSpec spec, std::string vcdPath,
+                   std::vector<rtl::VcdSignal> signals, std::uint64_t timescalePs = 1000);
+    ~TriggerCapture();
+    TriggerCapture(const TriggerCapture&) = delete;
+    TriggerCapture& operator=(const TriggerCapture&) = delete;
+
+    /// Poll once per design cycle, after the design has settled. Cheap
+    /// while armed (one read per signal into the ring, one compare); a
+    /// no-op once the post-trigger window has been written.
+    void cycle(std::uint64_t cycleNumber);
+
+    bool fired() const { return fired_; }
+    std::uint64_t firedCycle() const { return firedCycle_; }
+
+    /// True once the post-trigger window is complete and the file closed.
+    bool done() const { return done_; }
+
+    /// True while the capture still wants cycle() calls — the model must
+    /// not report an idle hint while this holds, or gating would starve
+    /// the post-trigger window.
+    bool active() const { return !done_; }
+
+    const std::string& path() const { return vcdPath_; }
+    const TriggerSpec& spec() const { return spec_; }
+
+    /// Build a capture from a spec string, resolving the watched signal in
+    /// @p signals. Returns nullptr (reason in @p error when non-null) on a
+    /// malformed spec or unknown signal.
+    static std::unique_ptr<TriggerCapture> fromSpecString(std::string_view specString,
+                                                          std::string vcdPath,
+                                                          std::vector<rtl::VcdSignal> signals,
+                                                          std::uint64_t timescalePs = 1000,
+                                                          std::string* error = nullptr);
+
+private:
+    struct Snapshot {
+        std::uint64_t cycle = 0;
+        std::vector<std::uint64_t> values;
+    };
+
+    bool conditionFires(std::uint64_t watchValue);
+    void fire(std::uint64_t cycleNumber);
+    void finishCapture();
+
+    TriggerSpec spec_;
+    std::string vcdPath_;
+    std::vector<rtl::VcdSignal> signals_;
+    std::size_t watchIndex_ = 0;
+    std::uint64_t timescalePs_;
+
+    std::vector<Snapshot> ring_;  ///< Pre-trigger history, capacity = preTriggerCycles.
+    std::size_t ringNext_ = 0;
+    std::size_t ringCount_ = 0;
+
+    std::vector<std::uint64_t> cur_;  ///< Scratch: this cycle's values.
+    bool havePrev_ = false;
+    std::uint64_t prevWatch_ = 0;
+
+    bool fired_ = false;
+    bool done_ = false;
+    std::uint64_t firedCycle_ = 0;
+    std::uint64_t postLeft_ = 0;
+    std::unique_ptr<rtl::VcdWriter> writer_;
+};
+
+}  // namespace g5r::obs

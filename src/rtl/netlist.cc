@@ -120,6 +120,11 @@ std::uint64_t Netlist::probe(const std::string& name) const {
     return nodes_[indexOf(name)].value;
 }
 
+int Netlist::probeIndex(const std::string& name) const {
+    const auto it = byName_.find(name);
+    return it == byName_.end() ? -1 : it->second;
+}
+
 void Netlist::eval() {
     lastEvalComputed_ = 0;
     // Quiescent fast path: no input or register changed since the last

@@ -76,6 +76,21 @@ public:
     /// Value of any named net after the last eval() (testing/debug).
     std::uint64_t probe(const std::string& name) const;
 
+    // --- watch hooks ---------------------------------------------------------
+    // Index-based access for per-cycle pollers (trigger-windowed waveform
+    // capture, obs/trigger.hh): resolve a name once with probeIndex(), then
+    // read by index every cycle without a map lookup.
+
+    /// Node index of a named net, or -1 when unknown (never throws).
+    int probeIndex(const std::string& name) const;
+
+    /// Value/width/name of node @p index after the last eval().
+    std::uint64_t valueAt(int index) const { return nodes_[static_cast<std::size_t>(index)].value; }
+    unsigned widthAt(int index) const { return nodes_[static_cast<std::size_t>(index)].width; }
+    const std::string& nameAt(int index) const {
+        return nodes_[static_cast<std::size_t>(index)].name;
+    }
+
     /// The parsed IR this netlist was elaborated from (lint re-runs, tools).
     const NetlistGraph& graph() const { return graph_; }
 

@@ -1,21 +1,87 @@
 #include "rtl/vcd.hh"
 
+#include <algorithm>
+
+#include "rtl/netlist.hh"
+
 namespace g5r::rtl {
+
+namespace {
+
+void collectModule(const Module& module, const std::string& scope,
+                   std::vector<VcdSignal>& out) {
+    for (const RegBase* reg : module.registers()) {
+        out.push_back(VcdSignal{scope, reg->name(), reg->width(),
+                                [reg] { return reg->valueBits(); }});
+    }
+    for (const Module* child : module.children()) {
+        collectModule(*child, scope + "." + child->name(), out);
+    }
+}
+
+std::vector<std::string> splitScope(const std::string& scope) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= scope.size()) {
+        const std::size_t dot = scope.find('.', start);
+        const std::size_t end = dot == std::string::npos ? scope.size() : dot;
+        if (end > start) parts.push_back(scope.substr(start, end - start));
+        if (dot == std::string::npos) break;
+        start = dot + 1;
+    }
+    return parts;
+}
+
+}  // namespace
+
+std::vector<VcdSignal> moduleSignals(const Module& top) {
+    std::vector<VcdSignal> out;
+    collectModule(top, top.name(), out);
+    return out;
+}
+
+std::vector<VcdSignal> netlistSignals(const Netlist& netlist) {
+    std::vector<VcdSignal> out;
+    out.reserve(netlist.numNodes());
+    for (std::size_t i = 0; i < netlist.numNodes(); ++i) {
+        const int idx = static_cast<int>(i);
+        out.push_back(VcdSignal{"netlist", netlist.nameAt(idx), netlist.widthAt(idx),
+                                [&netlist, idx] { return netlist.valueAt(idx); }});
+    }
+    return out;
+}
 
 VcdWriter::VcdWriter(const std::string& path, const Module& top, std::uint64_t timescalePs)
     : out_(path) {
     if (!out_.good()) return;
-    collect(top);
-    writeHeader(top, timescalePs);
+    std::vector<VcdSignal> sigs = moduleSignals(top);
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+        signals_.push_back(TracedSignal{std::move(sigs[i]), idCode(i)});
+    }
+    init(timescalePs);
+}
+
+VcdWriter::VcdWriter(const std::string& path, std::vector<VcdSignal> signals,
+                     std::uint64_t timescalePs)
+    : out_(path) {
+    if (!out_.good()) return;
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+        signals_.push_back(TracedSignal{std::move(signals[i]), idCode(i)});
+    }
+    init(timescalePs);
 }
 
 VcdWriter::~VcdWriter() = default;
 
-void VcdWriter::collect(const Module& module) {
-    for (const RegBase* reg : module.registers()) {
-        signals_.push_back(TracedSignal{reg, idCode(signals_.size()), 0, false});
-    }
-    for (const Module* child : module.children()) collect(*child);
+void VcdWriter::init(std::uint64_t timescalePs) {
+    writeHeader(timescalePs);
+    // A mid-run panic must not lose the buffered waveform tail — the crash
+    // window is exactly when the waveform matters most.
+    panicHook_ = std::make_unique<PanicHookScope>([this] { flush(); });
+}
+
+void VcdWriter::flush() {
+    if (out_.is_open()) out_.flush();
 }
 
 std::string VcdWriter::idCode(std::size_t index) {
@@ -28,59 +94,81 @@ std::string VcdWriter::idCode(std::size_t index) {
     return code;
 }
 
-void VcdWriter::writeScope(const Module& module) {
-    out_ << "$scope module " << module.name() << " $end\n";
-    // Identifier codes are assigned in collect() order, which matches this
-    // traversal; recompute the running index via a static-free approach:
-    for (const auto& sig : signals_) {
-        // Emit only the signals owned directly by this module.
-        for (const RegBase* reg : module.registers()) {
-            if (sig.reg == reg) {
-                out_ << "$var reg " << reg->width() << ' ' << sig.id << ' '
-                     << reg->name() << " $end\n";
-            }
-        }
-    }
-    for (const Module* child : module.children()) writeScope(*child);
-    out_ << "$upscope $end\n";
-}
-
-void VcdWriter::writeHeader(const Module& top, std::uint64_t timescalePs) {
+void VcdWriter::writeHeader(std::uint64_t timescalePs) {
     out_ << "$date gem5+rtl reproduction $end\n"
          << "$version g5r rtl kernel $end\n"
          << "$timescale " << timescalePs << "ps $end\n";
-    writeScope(top);
+    // Emit $scope/$upscope transitions between consecutive signals' scope
+    // paths; signal order therefore determines the hierarchy (depth-first
+    // for moduleSignals(), flat for netlists).
+    std::vector<std::string> stack;
+    for (const TracedSignal& sig : signals_) {
+        const std::vector<std::string> parts = splitScope(sig.sig.scope);
+        std::size_t common = 0;
+        while (common < stack.size() && common < parts.size() &&
+               stack[common] == parts[common]) {
+            ++common;
+        }
+        while (stack.size() > common) {
+            out_ << "$upscope $end\n";
+            stack.pop_back();
+        }
+        while (stack.size() < parts.size()) {
+            out_ << "$scope module " << parts[stack.size()] << " $end\n";
+            stack.push_back(parts[stack.size()]);
+        }
+        out_ << "$var reg " << sig.sig.width << ' ' << sig.id << ' ' << sig.sig.name
+             << " $end\n";
+    }
+    while (!stack.empty()) {
+        out_ << "$upscope $end\n";
+        stack.pop_back();
+    }
     out_ << "$enddefinitions $end\n";
     headerDone_ = true;
 }
 
 void VcdWriter::emitValue(const TracedSignal& sig, std::uint64_t value) {
-    if (sig.reg->width() == 1) {
+    if (sig.sig.width == 1) {
         out_ << (value & 1) << sig.id << '\n';
         bytesWritten_ += sig.id.size() + 2;
         return;
     }
     std::string bits;
-    bits.reserve(sig.reg->width());
-    for (int b = static_cast<int>(sig.reg->width()) - 1; b >= 0; --b) {
+    bits.reserve(sig.sig.width);
+    for (int b = static_cast<int>(sig.sig.width) - 1; b >= 0; --b) {
         bits.push_back((value >> b) & 1 ? '1' : '0');
     }
     out_ << 'b' << bits << ' ' << sig.id << '\n';
     bytesWritten_ += bits.size() + sig.id.size() + 3;
 }
 
-void VcdWriter::dumpCycle(std::uint64_t cycle) {
-    if (!enabled_ || !out_.good()) return;
+void VcdWriter::beginTimestamp(std::uint64_t cycle) {
     out_ << '#' << cycle << '\n';
     bytesWritten_ += 8;
-    for (auto& sig : signals_) {
-        const std::uint64_t value = sig.reg->valueBits();
-        if (!sig.everDumped || value != sig.lastValue) {
-            emitValue(sig, value);
-            sig.lastValue = value;
-            sig.everDumped = true;
-        }
+}
+
+void VcdWriter::emitChanged(std::size_t index, std::uint64_t value) {
+    TracedSignal& sig = signals_[index];
+    if (sig.everDumped && value == sig.lastValue) return;
+    emitValue(sig, value);
+    sig.lastValue = value;
+    sig.everDumped = true;
+}
+
+void VcdWriter::dumpCycle(std::uint64_t cycle) {
+    if (!enabled_ || !out_.good()) return;
+    beginTimestamp(cycle);
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        emitChanged(i, signals_[i].sig.read());
     }
+}
+
+void VcdWriter::dumpCycleValues(std::uint64_t cycle, const std::vector<std::uint64_t>& values) {
+    if (!enabled_ || !out_.good()) return;
+    beginTimestamp(cycle);
+    const std::size_t n = std::min(values.size(), signals_.size());
+    for (std::size_t i = 0; i < n; ++i) emitChanged(i, values[i]);
 }
 
 }  // namespace g5r::rtl

@@ -4,21 +4,55 @@
 // waveforms can be enabled and disabled at runtime, and tracing every
 // register every cycle is deliberately expensive in the same way real VCD
 // dumping is (string formatting + file I/O per changed signal).
+//
+// The writer traces a flat list of VcdSignal descriptors — {scope path,
+// name, width, read closure} — so the same machinery covers kernel Modules
+// (moduleSignals()), interpreted netlists (netlistSignals()), and the
+// trigger-windowed capture in obs/trigger.hh, which replays a pre-trigger
+// history ring through dumpCycleValues(). A live writer registers a
+// panic-time flush hook so a crash mid-run leaves a readable waveform
+// instead of losing the buffered tail.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "rtl/kernel.hh"
+#include "sim/logging.hh"
 
 namespace g5r::rtl {
+
+class Netlist;
+
+/// One traced signal: where it sits in the hierarchy, how wide it is, and
+/// how to read its current value.
+struct VcdSignal {
+    std::string scope;  ///< Dot-separated module path ("pmu.counter0").
+    std::string name;
+    unsigned width = 1;
+    std::function<std::uint64_t()> read;
+};
+
+/// Every register in @p top's subtree, depth-first, scoped by module path.
+std::vector<VcdSignal> moduleSignals(const Module& top);
+
+/// Every named net of @p netlist under a single "netlist" scope. Values
+/// reflect the most recent eval()/tick(); @p netlist must outlive the use
+/// of the returned closures.
+std::vector<VcdSignal> netlistSignals(const Netlist& netlist);
 
 class VcdWriter {
 public:
     /// Opens @p path and writes the header for @p top's register hierarchy.
     VcdWriter(const std::string& path, const Module& top,
+              std::uint64_t timescalePs = 1000);
+
+    /// Opens @p path and writes the header for an explicit signal list.
+    VcdWriter(const std::string& path, std::vector<VcdSignal> signals,
               std::uint64_t timescalePs = 1000);
     ~VcdWriter();
     VcdWriter(const VcdWriter&) = delete;
@@ -30,31 +64,43 @@ public:
     /// Only signals whose value changed since the previous dump are written.
     void dumpCycle(std::uint64_t cycle);
 
+    /// Same, but from caller-supplied values (index-aligned with the signal
+    /// list) instead of live reads — how the trigger capture replays its
+    /// pre-trigger history ring. Ignores entries beyond the signal count.
+    void dumpCycleValues(std::uint64_t cycle, const std::vector<std::uint64_t>& values);
+
     /// Runtime enable/disable (the Verilator feature Table 2 measures).
     void setEnabled(bool enabled) { enabled_ = enabled; }
     bool enabled() const { return enabled_; }
 
+    /// Push buffered output to the OS. Also runs on panic() via a hook
+    /// registered for the writer's lifetime.
+    void flush();
+
+    std::size_t numSignals() const { return signals_.size(); }
     std::uint64_t bytesWritten() const { return bytesWritten_; }
 
 private:
     struct TracedSignal {
-        const RegBase* reg;
-        std::string id;            ///< Short VCD identifier code.
-        std::uint64_t lastValue;
-        bool everDumped;
+        VcdSignal sig;
+        std::string id;  ///< Short VCD identifier code.
+        std::uint64_t lastValue = 0;
+        bool everDumped = false;
     };
 
-    void collect(const Module& module);
-    void writeHeader(const Module& top, std::uint64_t timescalePs);
-    void writeScope(const Module& module);
+    void init(std::uint64_t timescalePs);
+    void writeHeader(std::uint64_t timescalePs);
     static std::string idCode(std::size_t index);
     void emitValue(const TracedSignal& sig, std::uint64_t value);
+    void beginTimestamp(std::uint64_t cycle);
+    void emitChanged(std::size_t index, std::uint64_t value);
 
     std::ofstream out_;
     std::vector<TracedSignal> signals_;
     bool enabled_ = true;
     bool headerDone_ = false;
     std::uint64_t bytesWritten_ = 0;
+    std::unique_ptr<PanicHookScope> panicHook_;
 };
 
 }  // namespace g5r::rtl

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <set>
 #include <utility>
+#include <vector>
 
 namespace g5r {
 
@@ -41,6 +42,31 @@ std::mutex logMutex;
 
 thread_local std::string tlsRunLabel;
 
+// Panic hooks are per-thread (one thread drives one run); the counter is
+// process-wide only so handles stay unique across threads.
+struct PanicHook {
+    std::uint64_t id;
+    std::function<void()> fn;
+};
+thread_local std::vector<PanicHook> tlsPanicHooks;
+thread_local bool tlsInPanicHooks = false;
+std::atomic<std::uint64_t> panicHookIds{0};
+
+/// Run the calling thread's hooks, newest first. Re-entrancy (a hook that
+/// panics) and hook exceptions are contained so the abort always proceeds.
+void runPanicHooks() noexcept {
+    if (tlsInPanicHooks) return;
+    tlsInPanicHooks = true;
+    for (auto it = tlsPanicHooks.rbegin(); it != tlsPanicHooks.rend(); ++it) {
+        try {
+            it->fn();
+        } catch (...) {
+            // A salvage hook must never mask the original panic.
+        }
+    }
+    tlsInPanicHooks = false;
+}
+
 /// Every diagnostic goes out as one pre-built string under the mutex, so
 /// concurrent runs can interleave whole lines but never characters.
 void writeStderrLine(const std::string& line) {
@@ -60,8 +86,29 @@ std::string formatPanicMessage(std::string_view msg, const std::source_location&
 
 [[noreturn]] void panicImpl(std::string_view msg, const std::source_location& loc) {
     writeStderrLine(formatPanicMessage(msg, loc));
+    // Crash-time salvage (black-box dump, waveform flush) runs after the
+    // message so the report reads cause-first, and outside logMutex so the
+    // hooks can emit their own lines.
+    runPanicHooks();
     std::abort();
 }
+
+std::uint64_t addPanicHook(std::function<void()> hook) {
+    const std::uint64_t id = panicHookIds.fetch_add(1, std::memory_order_relaxed) + 1;
+    tlsPanicHooks.push_back(PanicHook{id, std::move(hook)});
+    return id;
+}
+
+void removePanicHook(std::uint64_t id) {
+    for (auto it = tlsPanicHooks.begin(); it != tlsPanicHooks.end(); ++it) {
+        if (it->id == id) {
+            tlsPanicHooks.erase(it);
+            return;
+        }
+    }
+}
+
+void logRawLine(const std::string& line) { writeStderrLine(line); }
 
 [[noreturn]] void panicStream(const std::string& msg, std::source_location loc) {
     panicImpl(msg, loc);

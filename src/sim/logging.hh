@@ -7,8 +7,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <source_location>
 #include <sstream>
 #include <string>
@@ -93,6 +95,39 @@ private:
 /// The exact single string panicImpl() writes (exposed for tests): run
 /// label tag, message, and source location, newline-terminated.
 std::string formatPanicMessage(std::string_view msg, const std::source_location& loc);
+
+// --- panic hooks -------------------------------------------------------------
+// Crash-time salvage: panic() runs the calling thread's registered hooks
+// (most recently registered first) after writing the panic message and
+// before abort(). The flight recorder dumps its black box here and the VCD
+// writer flushes its buffered waveform tail. Hooks are *thread-local*
+// because one thread drives one simulation (DESIGN.md): the panicking
+// thread's hooks belong to the run that died. A hook that itself panics or
+// throws is contained — remaining hooks still run and the abort proceeds.
+
+/// Register @p hook on the calling thread; returns a handle for removal.
+std::uint64_t addPanicHook(std::function<void()> hook);
+
+/// Remove a previously registered hook (no-op for unknown handles). Must be
+/// called on the registering thread.
+void removePanicHook(std::uint64_t id);
+
+/// RAII registration for scoped owners (recorders, waveform writers).
+class PanicHookScope {
+public:
+    explicit PanicHookScope(std::function<void()> hook) : id_(addPanicHook(std::move(hook))) {}
+    ~PanicHookScope() { removePanicHook(id_); }
+    PanicHookScope(const PanicHookScope&) = delete;
+    PanicHookScope& operator=(const PanicHookScope&) = delete;
+
+private:
+    std::uint64_t id_;
+};
+
+/// Write one pre-built diagnostic line (newline included by the caller)
+/// with the same single-write interleaving guarantee as debugPrint().
+/// Panic hooks use this so black-box reports stay line-atomic.
+void logRawLine(const std::string& line);
 
 /// Build a message from streamable parts: strCat(a, " ", b) -> std::string.
 template <typename... Parts>

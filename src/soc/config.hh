@@ -42,9 +42,10 @@ struct SocConfig {
     /// ambiguous routes). Purely structural — no simulation cost.
     bool elaborationLint = true;
 
-    /// Observability (src/obs/): Perfetto tracing and host-time profiling.
-    /// Off by default; the GEM5RTL_TRACE / GEM5RTL_PROFILE environment
-    /// variables overlay these at Soc construction (ObsOptions::fromEnv).
+    /// Observability (src/obs/): Perfetto tracing, host-time profiling, and
+    /// flight recording. Off by default; the GEM5RTL_TRACE / GEM5RTL_PROFILE
+    /// / GEM5RTL_RECORD environment variables overlay these at Soc
+    /// construction (ObsOptions::fromEnv).
     obs::ObsOptions obs;
 
     CacheParams l1iParams() const {

@@ -70,6 +70,9 @@ PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
     if (obs::ObsSession* obsSession = soc.observability()) {
         obsSession->finish();
         result.profile = obsSession->profileReport();
+        if (obsSession->recorder() != nullptr && obsSession->recorder()->ok()) {
+            result.recordPath = obsSession->recorder()->path();
+        }
     }
 
     if (observer != nullptr) {
@@ -187,6 +190,9 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         result.profile = obsSession->profileReport();
         if (obsSession->trace() != nullptr && obsSession->trace()->ok()) {
             result.tracePath = obsSession->trace()->path();
+        }
+        if (obsSession->recorder() != nullptr && obsSession->recorder()->ok()) {
+            result.recordPath = obsSession->recorder()->path();
         }
     }
     return result;

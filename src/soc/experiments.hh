@@ -56,6 +56,7 @@ struct PmuRunResult {
     std::vector<PmuObserver::Sample> rawSamples;
     double maxAbsIpcError = 0;  ///< max |pmuIpc - gem5Ipc| over intervals.
     std::shared_ptr<const obs::ProfileReport> profile;  ///< When profiling on.
+    std::string recordPath;                             ///< When recording on.
 };
 
 /// Run the three-kernel sort benchmark with (or without) the PMU attached.
@@ -91,6 +92,7 @@ struct DseRunResult {
 
     std::shared_ptr<const obs::ProfileReport> profile;  ///< When profiling on.
     std::string tracePath;                              ///< When tracing on.
+    std::string recordPath;                             ///< When recording on.
 };
 
 /// One point of the design-space exploration: N accelerators, one memory

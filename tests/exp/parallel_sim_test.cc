@@ -1,12 +1,18 @@
 // Two full Simulations ticking dlopen-ed NVDLA RTL models on two threads
 // must behave exactly like sequential runs: same checksums, same runtimes,
-// same per-accelerator finish ticks. This is the end-to-end guarantee the
-// parallel experiment runner rests on (and, under TSan, the audit that the
-// SharedLibModel / stats / logging paths really are thread-safe).
+// same per-accelerator finish ticks, and byte-identical flight recordings.
+// This is the end-to-end guarantee the parallel experiment runner rests on
+// (and, under TSan, the audit that the SharedLibModel / stats / logging
+// paths really are thread-safe). Routing the comparison through the flight
+// recorder means a regression does not just fail — it names the first
+// divergent interval and the owning SimObject.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <thread>
 
+#include "obs/diff.hh"
 #include "soc/experiments.hh"
 
 namespace g5r {
@@ -22,7 +28,8 @@ models::NvdlaShape tinyShape() {
     return shape;
 }
 
-experiments::DseRunConfig tinyConfig(MemTech tech, unsigned maxInflight) {
+experiments::DseRunConfig tinyConfig(MemTech tech, unsigned maxInflight,
+                                     const std::string& recordName) {
     experiments::DseRunConfig cfg;
     cfg.shape = tinyShape();
     cfg.workloadName = "parallel-regression";
@@ -30,7 +37,16 @@ experiments::DseRunConfig tinyConfig(MemTech tech, unsigned maxInflight) {
     cfg.maxInflight = maxInflight;
     cfg.numAccelerators = 1;
     cfg.numCores = 0;
+    cfg.obs.recordEnabled = true;
+    cfg.obs.recordPath = ::testing::TempDir() + "/" + recordName + ".g5rec";
     return cfg;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in{path};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
 }
 
 void expectSameRun(const experiments::DseRunResult& a, const experiments::DseRunResult& b) {
@@ -40,23 +56,42 @@ void expectSameRun(const experiments::DseRunResult& a, const experiments::DseRun
     EXPECT_TRUE(b.checksumsOk);
     EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
     EXPECT_EQ(a.perAcceleratorTicks, b.perAcceleratorTicks);
+
+    // Byte-identical recordings are the strong form of "same run": every
+    // dispatch and packet, in order. On mismatch, localize it instead of
+    // failing bare.
+    ASSERT_FALSE(a.recordPath.empty());
+    ASSERT_FALSE(b.recordPath.empty());
+    const std::string bytesA = slurp(a.recordPath);
+    const std::string bytesB = slurp(b.recordPath);
+    ASSERT_FALSE(bytesA.empty());
+    if (bytesA != bytesB) {
+        const obs::DivergenceReport rep =
+            obs::diffRecordingFiles(a.recordPath, b.recordPath);
+        ADD_FAILURE() << "flight recordings differ:\n"
+                      << obs::formatDivergenceReport(rep, a.recordPath, b.recordPath);
+    }
 }
 
 TEST(ParallelSimRegression, TwoThreadedNvdlaRunsMatchSequential) {
     // Two different configurations, so cross-contamination between the
-    // concurrent runs cannot cancel out.
-    const auto cfgA = tinyConfig(MemTech::kDdr4_1ch, 16);
-    const auto cfgB = tinyConfig(MemTech::kHbm, 64);
+    // concurrent runs cannot cancel out. Each run records to its own file.
+    const auto cfgSeqA = tinyConfig(MemTech::kDdr4_1ch, 16, "par_seq_a");
+    const auto cfgSeqB = tinyConfig(MemTech::kHbm, 64, "par_seq_b");
+    auto cfgParA = cfgSeqA;
+    auto cfgParB = cfgSeqB;
+    cfgParA.obs.recordPath = ::testing::TempDir() + "/par_par_a.g5rec";
+    cfgParB.obs.recordPath = ::testing::TempDir() + "/par_par_b.g5rec";
 
-    const auto seqA = experiments::runNvdlaDse(cfgA);
-    const auto seqB = experiments::runNvdlaDse(cfgB);
+    const auto seqA = experiments::runNvdlaDse(cfgSeqA);
+    const auto seqB = experiments::runNvdlaDse(cfgSeqB);
     ASSERT_TRUE(seqA.completed && seqA.checksumsOk);
     ASSERT_TRUE(seqB.completed && seqB.checksumsOk);
 
     experiments::DseRunResult parA, parB;
     {
-        std::jthread threadA{[&parA, &cfgA] { parA = experiments::runNvdlaDse(cfgA); }};
-        std::jthread threadB{[&parB, &cfgB] { parB = experiments::runNvdlaDse(cfgB); }};
+        std::jthread threadA{[&parA, &cfgParA] { parA = experiments::runNvdlaDse(cfgParA); }};
+        std::jthread threadB{[&parB, &cfgParB] { parB = experiments::runNvdlaDse(cfgParB); }};
     }
     expectSameRun(seqA, parA);
     expectSameRun(seqB, parB);
@@ -65,15 +100,21 @@ TEST(ParallelSimRegression, TwoThreadedNvdlaRunsMatchSequential) {
 TEST(ParallelSimRegression, RepeatedConcurrentRunsStayDeterministic) {
     // Same configuration raced against itself, twice over, keeps producing
     // the identical result — no hidden shared state between instances.
-    const auto cfg = tinyConfig(MemTech::kGddr5, 32);
-    const auto reference = experiments::runNvdlaDse(cfg);
+    const auto cfgRef = tinyConfig(MemTech::kGddr5, 32, "par_ref");
+    const auto reference = experiments::runNvdlaDse(cfgRef);
     ASSERT_TRUE(reference.completed && reference.checksumsOk);
 
     for (int round = 0; round < 2; ++round) {
+        auto cfgL = cfgRef;
+        auto cfgR = cfgRef;
+        cfgL.obs.recordPath =
+            ::testing::TempDir() + "/par_l" + std::to_string(round) + ".g5rec";
+        cfgR.obs.recordPath =
+            ::testing::TempDir() + "/par_r" + std::to_string(round) + ".g5rec";
         experiments::DseRunResult left, right;
         {
-            std::jthread a{[&left, &cfg] { left = experiments::runNvdlaDse(cfg); }};
-            std::jthread b{[&right, &cfg] { right = experiments::runNvdlaDse(cfg); }};
+            std::jthread a{[&left, &cfgL] { left = experiments::runNvdlaDse(cfgL); }};
+            std::jthread b{[&right, &cfgR] { right = experiments::runNvdlaDse(cfgR); }};
         }
         expectSameRun(reference, left);
         expectSameRun(reference, right);

@@ -1,6 +1,8 @@
 // Debug-trace gating: the lock-free disabled path and runtime flag control.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/logging.hh"
 
 namespace g5r {
@@ -72,6 +74,65 @@ TEST_F(LoggingFlags, DtraceIsSafeWhileDisabled) {
     bool formatted = false;
     dtrace("off-flag", Probe{&formatted});
     EXPECT_FALSE(formatted);
+}
+
+// --- panic hooks -----------------------------------------------------------
+
+TEST(PanicHooks, HookRunsAfterPanicMessageBeforeAbort) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            PanicHookScope hook{[] { logRawLine("black-box: salvage line\n"); }};
+            panic("hook ordering");
+        },
+        "panic: hook ordering(.|\n)*black-box: salvage line");
+}
+
+TEST(PanicHooks, HooksRunNewestFirst) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            PanicHookScope first{[] { logRawLine("hook-first\n"); }};
+            PanicHookScope second{[] { logRawLine("hook-second\n"); }};
+            panic("lifo order");
+        },
+        "hook-second(.|\n)*hook-first");
+}
+
+TEST(PanicHooks, RemovedHookDoesNotRun) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            {
+                PanicHookScope removed{[] { logRawLine("should-not-appear\n"); }};
+            }
+            PanicHookScope kept{[] { logRawLine("kept-hook-ran\n"); }};
+            panic("removal");
+        },
+        "kept-hook-ran");
+}
+
+TEST(PanicHooks, ThrowingHookDoesNotMaskPanic) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            PanicHookScope survivor{[] { logRawLine("survivor-ran\n"); }};
+            PanicHookScope thrower{[] { throw std::runtime_error("contained"); }};
+            panic("hook threw");
+        },
+        "panic: hook threw(.|\n)*survivor-ran");
+}
+
+TEST(PanicHooks, RecursivePanicInHookIsContained) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // A hook that itself panics must not re-enter the hook list (infinite
+    // recursion); the nested panic message prints and abort proceeds.
+    EXPECT_DEATH(
+        {
+            PanicHookScope bad{[] { panic("nested panic from hook"); }};
+            panic("outer panic");
+        },
+        "panic: outer panic(.|\n)*panic: nested panic from hook");
 }
 
 }  // namespace

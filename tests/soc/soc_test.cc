@@ -3,6 +3,11 @@
 // paper-shaped results at single points.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "soc/experiments.hh"
 #include "soc/model_loader.hh"
 #include "soc/soc.hh"
@@ -162,6 +167,45 @@ TEST(Experiments, PmulessBaselineRunsToo) {
     ASSERT_TRUE(result.completed);
     EXPECT_TRUE(result.intervals.empty());
     EXPECT_GT(result.committedInsts, 10'000u);
+}
+
+// GEM5RTL_TRIGGER turns waveformPath from always-on VCD into a windowed
+// capture routed through the model wrapper: the file appears only if the
+// watchpoint fires during the run.
+TEST(Experiments, TriggerEnvArmsWindowedCaptureOnThePmu) {
+    const auto fileExists = [](const std::string& p) {
+        return std::ifstream{p}.good();
+    };
+    experiments::PmuRunConfig cfg;
+    cfg.layout.baseElems = 60;
+    cfg.layout.sleepNs = 20'000;
+    cfg.intervalCycles = 10'000;
+    cfg.numCores = 1;
+
+    // The PMU raises irq every intervalCycles, so a rising-edge watchpoint
+    // fires and the windowed VCD is written.
+    const std::string fired = ::testing::TempDir() + "/pmu_trigger_fired.vcd";
+    cfg.waveformPath = fired;
+    setenv("GEM5RTL_TRIGGER", "irq:rise@8,32", 1);
+    const auto firedRun = experiments::runPmuSortExperiment(cfg);
+    unsetenv("GEM5RTL_TRIGGER");
+    ASSERT_TRUE(firedRun.completed);
+    ASSERT_TRUE(fileExists(fired));
+    std::ifstream in{fired};
+    std::string vcd((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(vcd.find("irq"), std::string::npos);
+    std::remove(fired.c_str());
+
+    // A watchpoint that can never fire writes no file at all.
+    const std::string quiet = ::testing::TempDir() + "/pmu_trigger_quiet.vcd";
+    cfg.waveformPath = quiet;
+    setenv("GEM5RTL_TRIGGER", "irq==0xdead", 1);
+    const auto quietRun = experiments::runPmuSortExperiment(cfg);
+    unsetenv("GEM5RTL_TRIGGER");
+    ASSERT_TRUE(quietRun.completed);
+    EXPECT_FALSE(fileExists(quiet));
 }
 
 TEST(Experiments, DsePointIdealBeatsNarrowDdr4) {
