@@ -1,0 +1,98 @@
+#include "lint/baseline.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/json.hh"
+
+namespace g5r::lint {
+
+std::size_t Baseline::total() const {
+    std::size_t n = 0;
+    for (const auto& [fp, count] : entries) n += count;
+    return n;
+}
+
+std::string fingerprint(const Diagnostic& d) {
+    std::ostringstream os;
+    os << d.ruleId << '|' << d.loc.file << '|' << severityName(d.severity);
+    for (const auto& net : d.nets) os << '|' << net;
+    return os.str();
+}
+
+Baseline makeBaseline(const Report& report) {
+    std::map<std::string, std::size_t> counts;
+    for (const auto& d : report.diagnostics()) ++counts[fingerprint(d)];
+    Baseline base;
+    base.entries.assign(counts.begin(), counts.end());
+    return base;
+}
+
+Report applyBaseline(const Report& report, const Baseline& base,
+                     std::size_t* suppressed) {
+    std::map<std::string, std::size_t> budget;
+    for (const auto& [fp, count] : base.entries) budget[fp] += count;
+
+    Report out;
+    std::size_t dropped = 0;
+    for (const auto& d : report.diagnostics()) {
+        if (const auto it = budget.find(fingerprint(d));
+            it != budget.end() && it->second > 0) {
+            --it->second;
+            ++dropped;
+            continue;
+        }
+        out.add(d.ruleId, d.severity, d.message, d.loc, d.nets);
+    }
+    if (suppressed) *suppressed = dropped;
+    return out;
+}
+
+Baseline loadBaseline(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read baseline file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    const exp::Json doc = exp::Json::parse(buf.str());
+    if (!doc.isObject() || !doc.contains("suppressions")) {
+        throw std::runtime_error("malformed baseline file (no 'suppressions'): " +
+                                 path);
+    }
+    Baseline base;
+    for (const auto& entry : doc.at("suppressions").items()) {
+        const std::string& fp = entry.at("fingerprint").asString();
+        const std::int64_t count = entry.at("count").asInt();
+        if (count < 1) {
+            throw std::runtime_error("malformed baseline count for '" + fp +
+                                     "': " + path);
+        }
+        base.entries.emplace_back(fp, static_cast<std::size_t>(count));
+    }
+    return base;
+}
+
+void saveBaseline(const Baseline& base, const std::string& path) {
+    exp::Json doc = exp::Json::object();
+    doc["version"] = 1;
+    exp::Json list = exp::Json::array();
+    auto sorted = base.entries;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [fp, count] : sorted) {
+        exp::Json entry = exp::Json::object();
+        entry["fingerprint"] = fp;
+        entry["count"] = static_cast<std::uint64_t>(count);
+        list.push(std::move(entry));
+    }
+    doc["suppressions"] = std::move(list);
+
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write baseline file: " + path);
+    out << doc.dump(2) << '\n';
+    if (!out) throw std::runtime_error("failed writing baseline file: " + path);
+}
+
+}  // namespace g5r::lint

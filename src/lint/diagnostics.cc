@@ -138,7 +138,20 @@ const std::vector<RuleInfo>& ruleRegistry() {
         {"G5R-WIDTH-MISMATCH", Severity::kWarning,
          "add/sub/mux operand widths disagree, or a mux select is wider than 1 bit"},
         {"G5R-WIDTH-TRUNC", Severity::kWarning,
-         "result net is narrower than an operand; high bits are silently dropped"},
+         "result net is narrower than an operand and the value-range analysis "
+         "cannot prove the truncation benign"},
+        // Netlist dataflow passes (src/rtl/analysis/, reported by
+        // src/lint/netlist_lint.cc).
+        {"G5R-TRUNC-LOSS", Severity::kWarning,
+         "truncation proven lossy: every reachable value drops high bits"},
+        {"G5R-CONST-NET", Severity::kWarning,
+         "non-const net or register provably stuck at a single value"},
+        {"G5R-CONST-COMPARE", Severity::kWarning,
+         "lt/ltu/eq compare provably always true or always false"},
+        {"G5R-DUP-CONE", Severity::kWarning,
+         "structurally identical combinational cones compute the same value"},
+        {"G5R-DEEP-LOGIC", Severity::kWarning,
+         "combinational depth exceeds the configured level budget"},
         // Kernel-model passes (src/lint/kernel_lint.cc).
         {"G5R-KRNL-DUP-SIGNAL", Severity::kError,
          "two registers or submodules share one hierarchical name (corrupts VCD)"},

@@ -7,12 +7,17 @@
 // --werror), 2 on usage/IO problems.
 //
 //   g5r-lint [options] <netlist-file>...
-//     --json              machine-readable output (one JSON document; the
-//                         per-diagnostic "file" field identifies the input)
-//     --werror            treat warnings as errors for the exit status
-//     --quiet             suppress clean-file summaries
-//     --builtin <name:N>  lint a generated design (names: bitonic)
-//     --list-rules        print the rule registry and exit
+//     --json                  machine-readable output (one JSON document; the
+//                             per-diagnostic "file" field identifies the input)
+//     --werror                treat warnings as errors for the exit status
+//     --quiet                 suppress clean-file summaries
+//     --builtin <name:N>      lint a generated design (names: bitonic)
+//     --list-rules            print the rule registry and exit
+//     --max-level <N>         G5R-DEEP-LOGIC budget (default 64 levels)
+//     --dump-levels           print each input's canonical level schedule
+//     --dump-cones            print each input's duplicate-cone statistics
+//     --baseline <file>       suppress findings recorded in a baseline file
+//     --write-baseline <file> record current findings as the new baseline
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -21,14 +26,19 @@
 #include <string>
 #include <vector>
 
+#include "lint/baseline.hh"
 #include "lint/diagnostics.hh"
 #include "lint/netlist_lint.hh"
+#include "rtl/analysis/cones.hh"
+#include "rtl/analysis/levelize.hh"
 #include "rtl/netlist.hh"
 
 namespace {
 
 int usage(std::ostream& os, int code) {
     os << "usage: g5r-lint [--json] [--werror] [--quiet] [--list-rules]\n"
+          "                [--max-level <N>] [--dump-levels] [--dump-cones]\n"
+          "                [--baseline <file>] [--write-baseline <file>]\n"
           "                [--builtin <name:N>] <netlist-file>...\n";
     return code;
 }
@@ -71,10 +81,39 @@ bool builtinSource(const std::string& spec, Input& input, std::string& error) {
     return false;
 }
 
+void dumpLevels(const Input& input, const g5r::rtl::NetlistGraph& g,
+                const g5r::rtl::analysis::LevelSchedule& sched, std::ostream& os) {
+    os << "== levels: " << input.label << " (depth " << sched.depth() << ", "
+       << sched.order.size() << " combinational node(s)"
+       << (sched.acyclic() ? "" : ", CYCLIC") << ")\n";
+    for (std::size_t level = 0; level < sched.levels.size(); ++level) {
+        os << "  L" << level << ':';
+        for (const int v : sched.levels[level]) os << ' ' << g.nodes[v].name;
+        os << '\n';
+    }
+}
+
+void dumpCones(const Input& input, const g5r::rtl::NetlistGraph& g,
+               const g5r::rtl::analysis::DuplicateCones& dup, std::ostream& os) {
+    os << "== cones: " << input.label << ": " << dup.combNodes
+       << " combinational node(s), " << dup.distinctCones << " distinct cone(s), "
+       << dup.redundantNodes << " redundant node(s) in " << dup.classes.size()
+       << " duplicate class(es)\n";
+    for (const auto& cls : dup.classes) {
+        os << "  class size " << cls.nodes.size() << " (cone " << cls.coneSize
+           << " node(s)):";
+        for (const int v : cls.nodes) os << ' ' << g.nodes[v].name;
+        os << '\n';
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool json = false, werror = false, quiet = false;
+    bool wantLevels = false, wantCones = false;
+    std::string baselinePath, writeBaselinePath;
+    g5r::lint::NetlistLintOptions opts;
     std::vector<Input> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -85,6 +124,24 @@ int main(int argc, char** argv) {
             werror = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--dump-levels") {
+            wantLevels = true;
+        } else if (arg == "--dump-cones") {
+            wantCones = true;
+        } else if (arg == "--max-level") {
+            if (++i >= argc) return usage(std::cerr, 2);
+            try {
+                opts.maxLogicDepth = static_cast<unsigned>(std::stoul(argv[i]));
+            } catch (const std::exception&) {
+                std::cerr << "g5r-lint: bad --max-level value '" << argv[i] << "'\n";
+                return 2;
+            }
+        } else if (arg == "--baseline") {
+            if (++i >= argc) return usage(std::cerr, 2);
+            baselinePath = argv[i];
+        } else if (arg == "--write-baseline") {
+            if (++i >= argc) return usage(std::cerr, 2);
+            writeBaselinePath = argv[i];
         } else if (arg == "--list-rules") {
             listRules(std::cout);
             return 0;
@@ -120,25 +177,68 @@ int main(int argc, char** argv) {
     }
     if (inputs.empty()) return usage(std::cerr, 2);
 
+    g5r::lint::Baseline baseline;
+    if (!baselinePath.empty()) {
+        try {
+            baseline = g5r::lint::loadBaseline(baselinePath);
+        } catch (const std::exception& e) {
+            std::cerr << "g5r-lint: " << e.what() << '\n';
+            return 2;
+        }
+    }
+
     // In JSON mode all inputs merge into one document; the per-diagnostic
     // "file" field keeps them apart.
     g5r::lint::Report merged;
-    std::size_t errors = 0, warnings = 0;
+    std::size_t errors = 0, warnings = 0, suppressed = 0;
     for (const auto& input : inputs) {
-        const g5r::lint::Report report =
-            g5r::lint::runNetlistSource(input.source, input.label);
+        g5r::lint::Report report =
+            g5r::lint::runNetlistSource(input.source, input.label, opts);
+        if (!baselinePath.empty()) {
+            std::size_t dropped = 0;
+            report = g5r::lint::applyBaseline(report, baseline, &dropped);
+            suppressed += dropped;
+        }
         errors += report.errors();
         warnings += report.warnings();
-        if (json) {
-            merged.merge(report);
-        } else if (!report.empty()) {
-            g5r::lint::emitText(report, std::cout);
-        } else if (!quiet) {
-            std::cout << input.label << ": clean\n";
+        merged.merge(report);
+        if (!json) {
+            if (!report.empty()) {
+                g5r::lint::emitText(report, std::cout);
+            } else if (!quiet) {
+                std::cout << input.label << ": clean\n";
+            }
+        }
+        if (wantLevels || wantCones) {
+            // Keep the JSON document on stdout parseable: dumps go to stderr
+            // under --json.
+            std::ostream& dumpOs = json ? std::cerr : std::cout;
+            const auto g = g5r::rtl::parseNetlistGraph(input.source);
+            const auto sched = g5r::rtl::analysis::levelize(g);
+            if (wantLevels) dumpLevels(input, g, sched, dumpOs);
+            if (wantCones) {
+                dumpCones(input, g, g5r::rtl::analysis::findDuplicateCones(g, sched),
+                          dumpOs);
+            }
         }
     }
     if (json) {
         g5r::lint::emitJson(merged, std::cout);
+    }
+    if (!writeBaselinePath.empty()) {
+        try {
+            g5r::lint::saveBaseline(g5r::lint::makeBaseline(merged), writeBaselinePath);
+        } catch (const std::exception& e) {
+            std::cerr << "g5r-lint: " << e.what() << '\n';
+            return 2;
+        }
+        if (!quiet && !json) {
+            std::cout << "baseline: wrote " << merged.diagnostics().size()
+                      << " finding(s) to " << writeBaselinePath << '\n';
+        }
+    }
+    if (!baselinePath.empty() && !quiet && !json) {
+        std::cout << "baseline: suppressed " << suppressed << " finding(s)\n";
     }
     if (!json && !quiet && inputs.size() > 1) {
         std::cout << inputs.size() << " input(s): " << errors << " error(s), "

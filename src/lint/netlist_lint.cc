@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "rtl/analysis/cones.hh"
+#include "rtl/analysis/const_prop.hh"
+#include "rtl/analysis/levelize.hh"
 #include "rtl/netlist.hh"
 
 namespace g5r::lint {
@@ -10,76 +13,10 @@ namespace {
 
 using rtl::NetOp;
 using rtl::NetlistGraph;
-
-/// Combinational fan-out adjacency: edge s -> c when comb node c reads s.
-/// A register's data input is a sequential edge and is deliberately absent.
-std::vector<std::vector<int>> combFanout(const NetlistGraph& g) {
-    std::vector<std::vector<int>> out(g.nodes.size());
-    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
-        const auto& node = g.nodes[i];
-        if (rtl::netOpIsSource(node.op)) continue;
-        for (const int s : node.src) {
-            if (s >= 0) out[s].push_back(static_cast<int>(i));
-        }
-    }
-    return out;
-}
-
-/// Iterative Tarjan; returns SCCs ordered by their smallest member index.
-std::vector<std::vector<int>> stronglyConnected(
-    const std::vector<std::vector<int>>& out) {
-    const int n = static_cast<int>(out.size());
-    std::vector<int> index(n, -1), low(n, 0), stack;
-    std::vector<bool> onStack(n, false);
-    std::vector<std::vector<int>> sccs;
-    int counter = 0;
-
-    struct Frame {
-        int v;
-        std::size_t edge;
-    };
-    for (int root = 0; root < n; ++root) {
-        if (index[root] != -1) continue;
-        std::vector<Frame> call{{root, 0}};
-        while (!call.empty()) {
-            Frame& f = call.back();
-            const int v = f.v;
-            if (f.edge == 0) {
-                index[v] = low[v] = counter++;
-                stack.push_back(v);
-                onStack[v] = true;
-            }
-            if (f.edge < out[v].size()) {
-                const int w = out[v][f.edge++];
-                if (index[w] == -1) {
-                    call.push_back(Frame{w, 0});
-                } else if (onStack[w]) {
-                    low[v] = std::min(low[v], index[w]);
-                }
-            } else {
-                if (low[v] == index[v]) {
-                    std::vector<int> scc;
-                    int w;
-                    do {
-                        w = stack.back();
-                        stack.pop_back();
-                        onStack[w] = false;
-                        scc.push_back(w);
-                    } while (w != v);
-                    std::sort(scc.begin(), scc.end());
-                    sccs.push_back(std::move(scc));
-                }
-                call.pop_back();
-                if (!call.empty()) {
-                    low[call.back().v] = std::min(low[call.back().v], low[v]);
-                }
-            }
-        }
-    }
-    std::sort(sccs.begin(), sccs.end(),
-              [](const auto& a, const auto& b) { return a.front() < b.front(); });
-    return sccs;
-}
+using rtl::analysis::ConstProp;
+using rtl::analysis::DuplicateCones;
+using rtl::analysis::LevelSchedule;
+using rtl::analysis::ValueRange;
 
 /// A cycle start -> ... -> start inside one SCC (every member has such a
 /// path by strong connectivity). Returns node indices beginning at start.
@@ -127,17 +64,11 @@ void lintStructure(const NetlistGraph& g, const std::string& file, Report& rep) 
     }
 }
 
-void lintCombLoops(const NetlistGraph& g, const std::string& file, Report& rep) {
-    const auto out = combFanout(g);
+void lintCombLoops(const NetlistGraph& g, const LevelSchedule& sched,
+                   const std::string& file, Report& rep) {
+    const auto out = rtl::analysis::combFanout(g);
     const int n = static_cast<int>(g.nodes.size());
-    for (const auto& scc : stronglyConnected(out)) {
-        bool cyclic = scc.size() > 1;
-        if (!cyclic) {  // Trivial SCC: cyclic only via a self-edge.
-            const int v = scc.front();
-            cyclic = std::find(out[v].begin(), out[v].end(), v) != out[v].end();
-        }
-        if (!cyclic) continue;
-
+    for (const auto& scc : sched.cyclicSccs) {
         std::vector<bool> inScc(n, false);
         for (const int v : scc) inScc[v] = true;
         const auto cycle = cycleThrough(scc.front(), inScc, out);
@@ -230,13 +161,58 @@ void lintConnectivity(const NetlistGraph& g, const std::string& file, Report& re
     }
 }
 
-void lintWidths(const NetlistGraph& g, const std::string& file, Report& rep) {
+std::string rangeEvidence(const ValueRange& r) {
+    std::ostringstream os;
+    os << "[" << r.lo << ", " << r.hi << "]";
+    return os.str();
+}
+
+/// Width rules. Mismatch stays structural; the truncation rules are driven
+/// by the value-range analysis: provably benign truncations are silent,
+/// provably lossy ones fire G5R-TRUNC-LOSS, the rest fire G5R-WIDTH-TRUNC
+/// with the computed range as evidence. `not` is exempt (64-bit inversion
+/// always sets bits above the operand width; masking them off is the
+/// operator's contract, not data loss), as are compares (1-bit by design).
+void lintWidths(const NetlistGraph& g, const ConstProp& cp, const std::string& file,
+                Report& rep) {
     const auto width = [&](int idx) -> int {
         return idx >= 0 ? static_cast<int>(g.nodes[idx].width) : -1;
     };
-    for (const auto& node : g.nodes) {
+    const auto truncCheck = [&](int i, int widestOperand, const char* what) {
+        const auto& node = g.nodes[static_cast<std::size_t>(i)];
+        if (widestOperand <= 0 || static_cast<int>(node.width) >= widestOperand) return;
+        const std::uint64_t mask =
+            node.width >= 64 ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << node.width) - 1);
+        const ValueRange& pre = cp.preMask[static_cast<std::size_t>(i)];
+        if (pre.hi <= mask) return;  // Proven benign: every value fits.
         const SourceLoc at{file, node.line};
-        if (node.op == NetOp::kAdd || node.op == NetOp::kSub) {
+        if (pre.lo > mask) {
+            rep.add("G5R-TRUNC-LOSS", Severity::kWarning,
+                    "'" + node.name + "' is " + std::to_string(node.width) +
+                        " bits wide but every reachable " + what + " value " +
+                        rangeEvidence(pre) + " needs " +
+                        std::to_string(rtl::analysis::bitsFor(pre.lo)) +
+                        "+ bits; data loss is guaranteed",
+                    at, {node.name});
+        } else {
+            rep.add("G5R-WIDTH-TRUNC", Severity::kWarning,
+                    "'" + node.name + "' is " + std::to_string(node.width) +
+                        " bits wide but the " + what + " value range " +
+                        rangeEvidence(pre) + " reaches " +
+                        std::to_string(rtl::analysis::bitsFor(pre.hi)) +
+                        " bits; high bits are dropped",
+                    at, {node.name});
+        }
+    };
+
+    for (std::size_t idx = 0; idx < g.nodes.size(); ++idx) {
+        const auto& node = g.nodes[idx];
+        const int i = static_cast<int>(idx);
+        const SourceLoc at{file, node.line};
+        switch (node.op) {
+        case NetOp::kAdd:
+        case NetOp::kSub: {
             const int wa = width(node.src[0]), wb = width(node.src[1]);
             if (wa > 0 && wb > 0 && wa != wb) {
                 rep.add("G5R-WIDTH-MISMATCH", Severity::kWarning,
@@ -247,15 +223,16 @@ void lintWidths(const NetlistGraph& g, const std::string& file, Report& rep) {
                         {node.name, g.nodes[node.src[0]].name,
                          g.nodes[node.src[1]].name});
             }
-            const int widest = std::max(wa, wb);
-            if (widest > 0 && static_cast<int>(node.width) < widest) {
-                rep.add("G5R-WIDTH-TRUNC", Severity::kWarning,
-                        "'" + node.name + "' is " + std::to_string(node.width) +
-                            " bits wide but an operand is " + std::to_string(widest) +
-                            " bits; high bits are dropped",
-                        at, {node.name});
-            }
-        } else if (node.op == NetOp::kMux) {
+            truncCheck(i, std::max(wa, wb), netOpName(node.op).data());
+            break;
+        }
+        case NetOp::kAnd:
+        case NetOp::kOr:
+        case NetOp::kXor:
+            truncCheck(i, std::max(width(node.src[0]), width(node.src[1])),
+                       netOpName(node.op).data());
+            break;
+        case NetOp::kMux: {
             const int ws = width(node.src[0]);
             const int wa = width(node.src[1]), wb = width(node.src[2]);
             if (ws > 1) {
@@ -274,35 +251,125 @@ void lintWidths(const NetlistGraph& g, const std::string& file, Report& rep) {
                         {node.name, g.nodes[node.src[1]].name,
                          g.nodes[node.src[2]].name});
             }
-            const int widest = std::max(wa, wb);
-            if (widest > 0 && static_cast<int>(node.width) < widest) {
-                rep.add("G5R-WIDTH-TRUNC", Severity::kWarning,
-                        "'" + node.name + "' is " + std::to_string(node.width) +
-                            " bits wide but a data operand is " +
-                            std::to_string(widest) + " bits; high bits are dropped",
-                        at, {node.name});
-            }
+            truncCheck(i, std::max(wa, wb), "mux data");
+            break;
+        }
+        case NetOp::kReg:
+            truncCheck(i, width(node.src[0]), "next-value");
+            break;
+        default:
+            break;
         }
     }
 }
 
+/// Provably-constant nets and provably-decided compares. Declared constants
+/// and inputs are exempt (they are *supposed* to be what they are), compares
+/// get the dedicated always-true/always-false rule, and everything else with
+/// a singleton value range is dead logic the dead-cone rule cannot see.
+void lintConstants(const NetlistGraph& g, const ConstProp& cp, const std::string& file,
+                   Report& rep) {
+    for (std::size_t idx = 0; idx < g.nodes.size(); ++idx) {
+        const auto& node = g.nodes[idx];
+        const int i = static_cast<int>(idx);
+        const SourceLoc at{file, node.line};
+        const ValueRange& r = cp.range[idx];
+        const bool isCompare =
+            node.op == NetOp::kLt || node.op == NetOp::kLtu || node.op == NetOp::kEq;
+
+        if (isCompare) {
+            if (!r.constant()) continue;
+            std::vector<std::string> nets{node.name};
+            for (const int s : node.src) {
+                if (s >= 0) nets.push_back(g.nodes[s].name);
+            }
+            rep.add("G5R-CONST-COMPARE", Severity::kWarning,
+                    "compare '" + node.name + "' (" + std::string(netOpName(node.op)) +
+                        ") is provably always " + (r.lo != 0 ? "true" : "false"),
+                    at, std::move(nets));
+            continue;
+        }
+
+        if (node.op == NetOp::kInput || node.op == NetOp::kConst) continue;
+        if (!r.constant()) continue;
+        if (node.op == NetOp::kReg) {
+            rep.add("G5R-CONST-NET", Severity::kWarning,
+                    "register '" + node.name + "' is provably stuck at " +
+                        std::to_string(r.lo) +
+                        (cp.stuckReg[idx] ? " (its reset value)" : ""),
+                    at, {node.name});
+        } else {
+            rep.add("G5R-CONST-NET", Severity::kWarning,
+                    "net '" + node.name + "' provably holds the constant " +
+                        std::to_string(r.lo) + " (const-driven cone; dead logic)",
+                    at, {node.name});
+        }
+        (void)i;
+    }
+}
+
+void lintDuplicateCones(const NetlistGraph& g, const DuplicateCones& dup,
+                        const std::string& file, Report& rep) {
+    for (const auto& cls : dup.classes) {
+        std::vector<std::string> nets;
+        nets.reserve(cls.nodes.size());
+        for (const int v : cls.nodes) nets.push_back(g.nodes[v].name);
+        std::ostringstream msg;
+        msg << cls.nodes.size() << " structurally identical combinational cones ("
+            << cls.coneSize << " node(s) each): '"
+            << g.nodes[cls.nodes.front()].name << "' is duplicated by ";
+        for (std::size_t m = 1; m < cls.nodes.size(); ++m) {
+            if (m != 1) msg << ", ";
+            msg << "'" << g.nodes[cls.nodes[m]].name << "'";
+        }
+        rep.add("G5R-DUP-CONE", Severity::kWarning, msg.str(),
+                SourceLoc{file, g.nodes[cls.nodes[1]].line}, std::move(nets));
+    }
+}
+
+void lintLogicDepth(const NetlistGraph& g, const LevelSchedule& sched,
+                    const NetlistLintOptions& opts, const std::string& file,
+                    Report& rep) {
+    const unsigned depth = sched.depth();
+    if (depth <= opts.maxLogicDepth) return;
+    // Name one net on the critical level as the anchor.
+    const auto& deepest = sched.levels.back();
+    int anchor = deepest.empty() ? -1 : deepest.front();
+    if (anchor < 0) return;
+    rep.add("G5R-DEEP-LOGIC", Severity::kWarning,
+            "combinational depth is " + std::to_string(depth) + " levels (budget " +
+                std::to_string(opts.maxLogicDepth) +
+                "); critical path ends at '" + g.nodes[anchor].name + "'",
+            SourceLoc{file, g.nodes[anchor].line}, {g.nodes[anchor].name});
+}
+
 }  // namespace
 
-Report run(const NetlistGraph& graph, const std::string& file) {
+Report run(const NetlistGraph& graph, const std::string& file,
+           const NetlistLintOptions& opts) {
     Report rep;
+    const LevelSchedule sched = rtl::analysis::levelize(graph);
+    const ConstProp cp = rtl::analysis::propagateConstants(graph, sched);
+    const DuplicateCones dup = rtl::analysis::findDuplicateCones(graph, sched);
+
     lintStructure(graph, file, rep);
-    lintCombLoops(graph, file, rep);
+    lintCombLoops(graph, sched, file, rep);
     lintConnectivity(graph, file, rep);
-    lintWidths(graph, file, rep);
+    lintWidths(graph, cp, file, rep);
+    lintConstants(graph, cp, file, rep);
+    lintDuplicateCones(graph, dup, file, rep);
+    lintLogicDepth(graph, sched, opts, file, rep);
     return rep;
 }
 
-Report runNetlistSource(std::string_view source, const std::string& file) {
-    return run(rtl::parseNetlistGraph(source), file);
+Report runNetlistSource(std::string_view source, const std::string& file,
+                        const NetlistLintOptions& opts) {
+    return run(rtl::parseNetlistGraph(source), file, opts);
 }
 
-Report run(const rtl::Netlist& netlist, const std::string& file) {
-    return run(netlist.graph(), file);
+Report run(const rtl::Netlist& netlist, const std::string& file,
+           const NetlistLintOptions& opts) {
+    return run(netlist.graph(), file, opts);
 }
 
 }  // namespace g5r::lint

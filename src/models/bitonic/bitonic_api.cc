@@ -42,6 +42,25 @@ unsigned parseN(const char* config) {
     return 16;
 }
 
+rtl::EvalMode parseEvalMode(const char* config) {
+    // config token "eval=levelized|dirty" wins; the GEM5RTL_NETLIST_EVAL
+    // environment variable covers deployments where the config string is
+    // fixed (the SoC experiments). Default: dirty-bit.
+    std::string spec;
+    if (config != nullptr) {
+        const std::string s{config};
+        if (const auto pos = s.find("eval="); pos != std::string::npos) {
+            spec = s.substr(pos + 5, s.find(',', pos) - (pos + 5));
+        }
+    }
+    if (spec.empty()) {
+        if (const char* env = std::getenv("GEM5RTL_NETLIST_EVAL"); env != nullptr) {
+            spec = env;
+        }
+    }
+    return spec == "levelized" ? rtl::EvalMode::kLevelized : rtl::EvalMode::kDirtyBit;
+}
+
 unsigned stagesFor(unsigned n) {
     // Bitonic network depth: log(n) * (log(n)+1) / 2.
     unsigned log2n = 0;
@@ -51,9 +70,11 @@ unsigned stagesFor(unsigned n) {
 
 class BitonicWrapper {
 public:
-    explicit BitonicWrapper(unsigned n)
+    BitonicWrapper(unsigned n, rtl::EvalMode evalMode)
         : n_(n), stages_(stagesFor(n)),
-          netlist_(rtl::bitonicSorterNetlist(n)), inputs_(n, 0), outputs_(n, 0) {}
+          netlist_(rtl::bitonicSorterNetlist(n)), inputs_(n, 0), outputs_(n, 0) {
+        netlist_.setEvalMode(evalMode);
+    }
 
     void reset() {
         netlist_.reset();
@@ -159,7 +180,7 @@ private:
 
 void* bitonicCreate(const char* config) {
     try {
-        return new BitonicWrapper(parseN(config));
+        return new BitonicWrapper(parseN(config), parseEvalMode(config));
     } catch (const std::exception&) {
         return nullptr;
     }

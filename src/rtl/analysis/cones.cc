@@ -1,0 +1,172 @@
+#include "rtl/analysis/cones.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace g5r::rtl::analysis {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnvMix(std::uint64_t h, std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xFF;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t maskForWidth(unsigned width) {
+    return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+bool commutative(NetOp op) {
+    return op == NetOp::kAnd || op == NetOp::kOr || op == NetOp::kXor ||
+           op == NetOp::kAdd || op == NetOp::kEq;
+}
+
+/// Exact structural equivalence of two cones (collision guard). Memoized on
+/// node pairs; identical node indices are trivially equivalent, so shared
+/// sub-cones cut the recursion.
+class ConeComparer {
+public:
+    explicit ConeComparer(const NetlistGraph& g) : g_(g) {}
+
+    bool equal(int x, int y) {
+        if (x == y) return true;
+        if (x < 0 || y < 0) return false;
+        if (x > y) std::swap(x, y);
+        const auto key = std::pair{x, y};
+        if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+        memo_[key] = false;  // Cycles (defensive) compare unequal.
+        const bool eq = compare(x, y);
+        memo_[key] = eq;
+        return eq;
+    }
+
+private:
+    bool compare(int x, int y) {
+        const auto& a = g_.nodes[x];
+        const auto& b = g_.nodes[y];
+        if (a.op != b.op || a.width != b.width) return false;
+        switch (a.op) {
+        case NetOp::kConst:
+            return (a.init & maskForWidth(a.width)) == (b.init & maskForWidth(b.width));
+        case NetOp::kInput:
+        case NetOp::kReg:
+            return false;  // Distinct sources are distinct values (x != y here).
+        default: break;
+        }
+        if (commutative(a.op)) {
+            return (equal(a.src[0], b.src[0]) && equal(a.src[1], b.src[1])) ||
+                   (equal(a.src[0], b.src[1]) && equal(a.src[1], b.src[0]));
+        }
+        const unsigned arity = netOpArity(a.op);
+        for (unsigned s = 0; s < arity; ++s) {
+            if (!equal(a.src[s], b.src[s])) return false;
+        }
+        return true;
+    }
+
+    const NetlistGraph& g_;
+    std::map<std::pair<int, int>, bool> memo_;
+};
+
+}  // namespace
+
+ConeHashes hashCones(const NetlistGraph& g, const LevelSchedule& sched) {
+    const int n = static_cast<int>(g.nodes.size());
+    ConeHashes ch;
+    ch.hash.assign(n, 0);
+    ch.coneSize.assign(n, 0);
+
+    // Sources first: identity for inputs/regs (two different pins are never
+    // interchangeable), value+width for constants (two equal literals are).
+    for (int i = 0; i < n; ++i) {
+        const auto& node = g.nodes[i];
+        std::uint64_t h = fnvMix(kFnvOffset, static_cast<std::uint64_t>(node.op));
+        switch (node.op) {
+        case NetOp::kInput:
+        case NetOp::kReg:
+            h = fnvMix(h, static_cast<std::uint64_t>(i));
+            break;
+        case NetOp::kConst:
+            h = fnvMix(h, node.init & maskForWidth(node.width));
+            h = fnvMix(h, node.width);
+            break;
+        default:
+            continue;  // Combinational nodes below, in level order.
+        }
+        ch.hash[i] = h;
+    }
+
+    for (const int i : sched.order) {
+        const auto& node = g.nodes[i];
+        std::uint64_t h = fnvMix(kFnvOffset, static_cast<std::uint64_t>(node.op));
+        h = fnvMix(h, node.width);
+        const unsigned arity = netOpArity(node.op);
+        std::uint64_t opHash[3] = {0, 0, 0};
+        std::size_t size = 1;
+        for (unsigned s = 0; s < arity; ++s) {
+            const int src = node.src[s];
+            // Unresolved operands hash as a distinct "hole" so broken inputs
+            // never alias a real cone.
+            opHash[s] = src >= 0 ? ch.hash[src] : fnvMix(kFnvOffset, 0xDEADu);
+            if (src >= 0) size += ch.coneSize[src];
+        }
+        if (commutative(node.op) && opHash[0] > opHash[1]) {
+            std::swap(opHash[0], opHash[1]);
+        }
+        for (unsigned s = 0; s < arity; ++s) h = fnvMix(h, opHash[s]);
+        ch.hash[i] = h;
+        ch.coneSize[i] = size;
+    }
+    return ch;
+}
+
+DuplicateCones findDuplicateCones(const NetlistGraph& g, const LevelSchedule& sched) {
+    const ConeHashes ch = hashCones(g, sched);
+    DuplicateCones dup;
+    dup.combNodes = sched.order.size();
+
+    // Bucket by hash (insertion keeps ascending node order within a bucket),
+    // then verify each bucket structurally.
+    std::map<std::uint64_t, std::vector<int>> buckets;
+    for (const int i : sched.order) buckets[ch.hash[i]].push_back(i);
+
+    ConeComparer cmp{g};
+    std::vector<DuplicateCones::Class> classes;
+    for (auto& [hash, members] : buckets) {
+        if (members.size() == 1) {
+            ++dup.distinctCones;
+            continue;
+        }
+        // Partition hash-equal members into exactly-equal classes.
+        std::vector<std::vector<int>> verified;
+        for (const int m : members) {
+            bool placed = false;
+            for (auto& cls : verified) {
+                if (cmp.equal(cls.front(), m)) {
+                    cls.push_back(m);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed) verified.push_back({m});
+        }
+        dup.distinctCones += verified.size();
+        for (auto& cls : verified) {
+            if (cls.size() < 2) continue;
+            dup.redundantNodes += cls.size() - 1;
+            const std::size_t size = ch.coneSize[cls.front()];
+            classes.push_back(DuplicateCones::Class{std::move(cls), size, hash});
+        }
+    }
+    std::sort(classes.begin(), classes.end(),
+              [](const auto& a, const auto& b) { return a.nodes.front() < b.nodes.front(); });
+    dup.classes = std::move(classes);
+    return dup;
+}
+
+}  // namespace g5r::rtl::analysis

@@ -1,0 +1,210 @@
+#include "rtl/analysis/const_prop.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace g5r::rtl::analysis {
+namespace {
+
+constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
+
+std::uint64_t maskForWidth(unsigned width) {
+    return width >= 64 ? kU64Max : ((std::uint64_t{1} << width) - 1);
+}
+
+std::uint64_t maskForBits(unsigned bits) {
+    return bits >= 64 ? kU64Max : ((std::uint64_t{1} << bits) - 1);
+}
+
+ValueRange full(std::uint64_t mask) { return ValueRange{0, mask}; }
+
+ValueRange single(std::uint64_t v) { return ValueRange{v, v}; }
+
+/// Post-mask image of @p pre: exact for singletons and for intervals that
+/// already fit under the mask, the full masked range otherwise (masking
+/// folds a spanning interval in a non-monotone way).
+ValueRange clip(ValueRange pre, std::uint64_t mask) {
+    if (pre.constant()) return single(pre.lo & mask);
+    return pre.hi <= mask ? pre : full(mask);
+}
+
+std::int64_t sext(std::uint64_t v, unsigned width) {
+    if (width >= 64) return static_cast<std::int64_t>(v);
+    const unsigned sh = 64 - width;
+    return static_cast<std::int64_t>(v << sh) >> sh;
+}
+
+}  // namespace
+
+unsigned bitsFor(std::uint64_t v) {
+    return static_cast<unsigned>(std::bit_width(v));
+}
+
+ConstProp propagateConstants(const NetlistGraph& g, const LevelSchedule& sched) {
+    const int n = static_cast<int>(g.nodes.size());
+    ConstProp cp;
+    cp.range.assign(n, ValueRange{});
+    cp.preMask.assign(n, ValueRange{});
+    cp.stuckReg.assign(n, false);
+
+    std::vector<bool> isCyclic(n, false);
+    for (const int v : sched.cyclic) isCyclic[v] = true;
+
+    const auto nodeMask = [&](int i) { return maskForWidth(g.nodes[i].width); };
+
+    // Sources. Registers start at their reset value; the fixpoint below
+    // grows them as their data inputs are understood.
+    for (int i = 0; i < n; ++i) {
+        const auto& node = g.nodes[i];
+        switch (node.op) {
+        case NetOp::kInput: cp.range[i] = full(nodeMask(i)); break;
+        case NetOp::kConst: cp.range[i] = single(node.init & nodeMask(i)); break;
+        case NetOp::kReg: cp.range[i] = single(node.init & nodeMask(i)); break;
+        default: cp.range[i] = full(nodeMask(i)); break;  // Refined below.
+        }
+        cp.preMask[i] = cp.range[i];
+        if (isCyclic[i]) {  // No finite schedule: stay conservative.
+            cp.range[i] = full(nodeMask(i));
+            cp.preMask[i] = cp.range[i];
+        }
+    }
+
+    // Operand range; unresolved references degrade to unconstrained.
+    const auto src = [&](int i, int slot) -> ValueRange {
+        const int s = g.nodes[i].src[slot];
+        return s >= 0 ? cp.range[s] : ValueRange{};
+    };
+    const auto srcWidth = [&](int i, int slot) -> unsigned {
+        const int s = g.nodes[i].src[slot];
+        return s >= 0 ? g.nodes[s].width : 64;
+    };
+
+    const auto evalNode = [&](int i) {
+        const auto& node = g.nodes[i];
+        const std::uint64_t mask = nodeMask(i);
+        const ValueRange a = src(i, 0);
+        const ValueRange b = src(i, 1);
+        const bool constAB = a.constant() && b.constant();
+        ValueRange pre = full(kU64Max);
+
+        switch (node.op) {
+        case NetOp::kNot:
+            pre = ValueRange{~a.hi, ~a.lo};
+            cp.preMask[i] = pre;
+            // (~x) & mask == mask - x when x's bits fit inside the mask.
+            cp.range[i] = a.hi <= mask ? ValueRange{mask - a.hi, mask - a.lo}
+                                       : full(mask);
+            return;
+        case NetOp::kAnd:
+            pre = constAB ? single(a.lo & b.lo) : ValueRange{0, std::min(a.hi, b.hi)};
+            break;
+        case NetOp::kOr:
+            pre = constAB ? single(a.lo | b.lo)
+                          : ValueRange{std::max(a.lo, b.lo),
+                                       maskForBits(bitsFor(std::max(a.hi, b.hi)))};
+            break;
+        case NetOp::kXor:
+            pre = constAB ? single(a.lo ^ b.lo)
+                          : ValueRange{0, maskForBits(bitsFor(std::max(a.hi, b.hi)))};
+            break;
+        case NetOp::kAdd:
+            if (constAB) {
+                pre = single(a.lo + b.lo);  // Exact mod 2^64, like eval().
+            } else if (a.hi > kU64Max - b.hi) {
+                pre = full(kU64Max);  // May wrap.
+            } else {
+                pre = ValueRange{a.lo + b.lo, a.hi + b.hi};
+            }
+            break;
+        case NetOp::kSub:
+            if (constAB) {
+                pre = single(a.lo - b.lo);  // Exact mod 2^64, like eval().
+            } else if (a.lo >= b.hi) {
+                pre = ValueRange{a.lo - b.hi, a.hi - b.lo};
+            } else {
+                pre = full(kU64Max);  // May wrap.
+            }
+            break;
+        case NetOp::kLt:
+            if (node.src[0] >= 0 && node.src[0] == node.src[1]) {
+                pre = single(0);
+            } else if (constAB) {
+                pre = single(sext(a.lo, srcWidth(i, 0)) < sext(b.lo, srcWidth(i, 1))
+                                 ? 1
+                                 : 0);
+            } else {
+                pre = ValueRange{0, 1};
+            }
+            break;
+        case NetOp::kLtu:
+            if (node.src[0] >= 0 && node.src[0] == node.src[1]) {
+                pre = single(0);
+            } else if (a.hi < b.lo) {
+                pre = single(1);
+            } else if (a.lo >= b.hi) {
+                pre = single(0);
+            } else {
+                pre = ValueRange{0, 1};
+            }
+            break;
+        case NetOp::kEq:
+            if (node.src[0] >= 0 && node.src[0] == node.src[1]) {
+                pre = single(1);
+            } else if (constAB && a.lo == b.lo) {
+                pre = single(1);
+            } else if (a.hi < b.lo || b.hi < a.lo) {
+                pre = single(0);
+            } else {
+                pre = ValueRange{0, 1};
+            }
+            break;
+        case NetOp::kMux: {
+            const ValueRange d1 = src(i, 1), d2 = src(i, 2);
+            if (a.lo > 0) {
+                pre = d1;  // Select provably non-zero.
+            } else if (a.hi == 0) {
+                pre = d2;  // Select provably zero.
+            } else {
+                pre = ValueRange{std::min(d1.lo, d2.lo), std::max(d1.hi, d2.hi)};
+            }
+            break;
+        }
+        default:
+            return;  // Sources handled above.
+        }
+        cp.preMask[i] = pre;
+        cp.range[i] = clip(pre, mask);
+    };
+
+    // Bounded fixpoint: settle combinational logic, absorb reg next-values,
+    // widen stragglers, re-settle. Terminates in <= kRegFixpointIters + 2
+    // rounds because widened regs cannot grow further.
+    for (int iter = 0;; ++iter) {
+        for (const int i : sched.order) evalNode(i);
+
+        bool changed = false;
+        for (int i = 0; i < n; ++i) {
+            if (g.nodes[i].op != NetOp::kReg || isCyclic[i]) continue;
+            const int s = g.nodes[i].src[0];
+            const ValueRange in = s >= 0 ? cp.range[s] : ValueRange{};
+            cp.preMask[i] = in;
+            const ValueRange latched = clip(in, nodeMask(i));
+            ValueRange merged{std::min(cp.range[i].lo, latched.lo),
+                              std::max(cp.range[i].hi, latched.hi)};
+            if (merged.lo == cp.range[i].lo && merged.hi == cp.range[i].hi) continue;
+            if (iter >= kRegFixpointIters) merged = full(nodeMask(i));
+            cp.range[i] = merged;
+            changed = true;
+        }
+        if (!changed) break;
+    }
+
+    for (int i = 0; i < n; ++i) {
+        if (g.nodes[i].op != NetOp::kReg) continue;
+        const std::uint64_t init = g.nodes[i].init & nodeMask(i);
+        cp.stuckReg[i] = cp.range[i].constant() && cp.range[i].lo == init;
+    }
+    return cp;
+}
+
+}  // namespace g5r::rtl::analysis

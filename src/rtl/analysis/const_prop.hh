@@ -1,0 +1,62 @@
+// Constant propagation / value-range analysis over a levelized netlist.
+//
+// Every net gets an unsigned interval [lo, hi] over-approximating the values
+// it can ever carry (after masking to its declared width). The analysis is
+// sound: the true set of reachable values is always inside the interval, so
+//   - hi == lo            proves the net constant (dead logic);
+//   - interval arithmetic proves compares always-true / always-false;
+//   - preMask (the operation result *before* masking) proves which width
+//     truncations can actually lose bits: preMask.hi <= resultMask is a
+//     proof of benignity, preMask.lo > resultMask a proof that every
+//     reachable value loses bits.
+//
+// Registers are solved by a bounded fixpoint: a reg starts at its reset
+// value, absorbs the range of its data input once per iteration, and is
+// widened to its full width after kRegFixpointIters rounds if still growing
+// (counters would otherwise converge one value per round). Deterministic:
+// pure function of the graph, independent of run or thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/analysis/levelize.hh"
+#include "rtl/netlist_graph.hh"
+
+namespace g5r::rtl::analysis {
+
+struct ValueRange {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = ~std::uint64_t{0};
+
+    bool constant() const { return lo == hi; }
+    bool contains(std::uint64_t v) const { return lo <= v && v <= hi; }
+};
+
+/// Minimum bits needed to represent @p v (0 -> 0 bits).
+unsigned bitsFor(std::uint64_t v);
+
+struct ConstProp {
+    /// Post-mask range per node: what the net can carry.
+    std::vector<ValueRange> range;
+
+    /// Pre-mask range of the operation result per node (== range for
+    /// sources). preMask.hi > mask(width) means the mask can drop bits.
+    std::vector<ValueRange> preMask;
+
+    /// Registers whose data input provably never leaves the reset value
+    /// (the reg is stuck). Subset of constant(range[i]) for reg nodes.
+    std::vector<bool> stuckReg;
+
+    bool provablyConstant(int node) const { return range[node].constant(); }
+};
+
+/// Number of reg-fixpoint rounds before widening (see header comment).
+inline constexpr int kRegFixpointIters = 3;
+
+/// Run the analysis. @p sched must come from levelize() on the same graph.
+/// Tolerant-graph safe: unresolved operands and cycle members degrade to
+/// full-width ranges instead of misanalyzing.
+ConstProp propagateConstants(const NetlistGraph& g, const LevelSchedule& sched);
+
+}  // namespace g5r::rtl::analysis

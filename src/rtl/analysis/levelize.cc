@@ -1,0 +1,160 @@
+#include "rtl/analysis/levelize.hh"
+
+#include <algorithm>
+
+namespace g5r::rtl::analysis {
+
+std::vector<std::vector<int>> combFanout(const NetlistGraph& g) {
+    std::vector<std::vector<int>> out(g.nodes.size());
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        const auto& node = g.nodes[i];
+        if (netOpIsSource(node.op)) continue;
+        for (const int s : node.src) {
+            if (s >= 0) out[s].push_back(static_cast<int>(i));
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<int>> stronglyConnectedComponents(
+    const std::vector<std::vector<int>>& adjacency) {
+    const int n = static_cast<int>(adjacency.size());
+    std::vector<int> index(n, -1), low(n, 0), stack;
+    std::vector<bool> onStack(n, false);
+    std::vector<std::vector<int>> sccs;
+    int counter = 0;
+
+    struct Frame {
+        int v;
+        std::size_t edge;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        std::vector<Frame> call{{root, 0}};
+        while (!call.empty()) {
+            Frame& f = call.back();
+            const int v = f.v;
+            if (f.edge == 0) {
+                index[v] = low[v] = counter++;
+                stack.push_back(v);
+                onStack[v] = true;
+            }
+            if (f.edge < adjacency[v].size()) {
+                const int w = adjacency[v][f.edge++];
+                if (index[w] == -1) {
+                    call.push_back(Frame{w, 0});
+                } else if (onStack[w]) {
+                    low[v] = std::min(low[v], index[w]);
+                }
+            } else {
+                if (low[v] == index[v]) {
+                    std::vector<int> scc;
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        scc.push_back(w);
+                    } while (w != v);
+                    std::sort(scc.begin(), scc.end());
+                    sccs.push_back(std::move(scc));
+                }
+                call.pop_back();
+                if (!call.empty()) {
+                    low[call.back().v] = std::min(low[call.back().v], low[v]);
+                }
+            }
+        }
+    }
+    std::sort(sccs.begin(), sccs.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return sccs;
+}
+
+LevelSchedule levelize(const NetlistGraph& g) {
+    const int n = static_cast<int>(g.nodes.size());
+    LevelSchedule sched;
+    sched.levelOf.assign(n, 0);
+
+    // SCC condensation: map every node to its component; non-trivial
+    // components (size > 1 or a self-edge) are combinational cycles.
+    const auto fanout = combFanout(g);
+    const auto sccs = stronglyConnectedComponents(fanout);
+    std::vector<int> compOf(n, -1);
+    for (std::size_t c = 0; c < sccs.size(); ++c) {
+        for (const int v : sccs[c]) compOf[v] = static_cast<int>(c);
+    }
+    std::vector<bool> isCyclic(n, false);
+    for (const auto& scc : sccs) {
+        bool cyclic = scc.size() > 1;
+        if (!cyclic) {
+            const int v = scc.front();
+            cyclic = std::find(fanout[v].begin(), fanout[v].end(), v) != fanout[v].end();
+        }
+        if (!cyclic) continue;
+        sched.cyclicSccs.push_back(scc);
+        for (const int v : scc) {
+            isCyclic[v] = true;
+            sched.cyclic.push_back(v);
+        }
+    }
+    std::sort(sched.cyclic.begin(), sched.cyclic.end());
+
+    // Level = 1 + max level over combinational predecessors (0 for sources
+    // and cycle members). Kahn waves only guarantee predecessors are final
+    // before their consumers; the level function itself is canonical
+    // (longest path) regardless of visit order.
+    std::vector<int> indegree(n, 0);
+    for (int i = 0; i < n; ++i) {
+        const auto& node = g.nodes[i];
+        if (netOpIsSource(node.op) || isCyclic[i]) continue;
+        for (const int s : node.src) {
+            if (s >= 0 && !netOpIsSource(g.nodes[s].op) && !isCyclic[s]) ++indegree[i];
+        }
+    }
+    std::vector<int> ready;
+    for (int i = 0; i < n; ++i) {
+        if (!netOpIsSource(g.nodes[i].op) && !isCyclic[i] && indegree[i] == 0) {
+            ready.push_back(i);
+        }
+    }
+    // Process in ascending-index waves; the computed level is order-
+    // independent (longest path), the waves just guarantee predecessors are
+    // final before consumers.
+    std::vector<int> next;
+    while (!ready.empty()) {
+        std::sort(ready.begin(), ready.end());
+        next.clear();
+        for (const int i : ready) {
+            int level = 1;
+            for (const int s : g.nodes[i].src) {
+                if (s < 0) continue;
+                // A cyclic predecessor contributes its (partial) level so
+                // downstream logic still stratifies on broken inputs.
+                level = std::max(level, sched.levelOf[s] + 1);
+            }
+            sched.levelOf[i] = level;
+            for (const int c : fanout[i]) {
+                if (isCyclic[c]) continue;
+                if (--indegree[c] == 0) next.push_back(c);
+            }
+        }
+        ready.swap(next);
+    }
+
+    int maxLevel = 0;
+    for (int i = 0; i < n; ++i) maxLevel = std::max(maxLevel, sched.levelOf[i]);
+    sched.levels.assign(static_cast<std::size_t>(maxLevel) + 1, {});
+    if (n == 0) sched.levels.clear();
+    for (int i = 0; i < n; ++i) {
+        sched.levels[static_cast<std::size_t>(sched.levelOf[i])].push_back(i);
+    }
+    for (std::size_t l = 1; l < sched.levels.size(); ++l) {
+        for (const int i : sched.levels[l]) {
+            if (!netOpIsSource(g.nodes[i].op) && !isCyclic[i]) sched.order.push_back(i);
+        }
+    }
+    return sched;
+}
+
+}  // namespace g5r::rtl::analysis

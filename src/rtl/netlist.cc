@@ -1,7 +1,6 @@
 #include "rtl/netlist.hh"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
 
 #include "lint/netlist_lint.hh"
@@ -49,53 +48,13 @@ Netlist::Netlist(std::string_view source) : graph_(parseNetlistGraph(source)) {
     }
     for (const auto& out : graph_.outputs) outputs_[out.alias] = out.target;
 
-    topoSort();
+    // The canonical level schedule is the evaluation order for both modes:
+    // the dirty-bit walker only needs *a* topological order, the levelized
+    // path wants the level-major one, and sharing it keeps the two modes
+    // trivially value-identical. Lint already rejected cycles above.
+    sched_ = analysis::levelize(graph_);
+    evalOrder_ = sched_.order;
     dirty_.assign(nodes_.size(), 1);  // First eval() computes everything.
-}
-
-void Netlist::topoSort() {
-    // Kahn's algorithm over combinational nodes; inputs/consts/regs are
-    // sources. A reg's input edge is sequential, not combinational.
-    const int n = static_cast<int>(nodes_.size());
-    std::vector<int> indegree(n, 0);
-    std::vector<std::vector<int>> consumers(n);
-    for (int i = 0; i < n; ++i) {
-        const Node& node = nodes_[i];
-        if (node.op == Op::kInput || node.op == Op::kConst || node.op == Op::kReg) continue;
-        for (const int s : node.src) {
-            if (s < 0) continue;
-            ++indegree[i];
-            consumers[s].push_back(i);
-        }
-    }
-
-    std::deque<int> ready;
-    for (int i = 0; i < n; ++i) {
-        const Node& node = nodes_[i];
-        const bool isSource =
-            node.op == Op::kInput || node.op == Op::kConst || node.op == Op::kReg;
-        if (isSource || indegree[i] == 0) ready.push_back(i);
-    }
-
-    std::vector<bool> placed(n, false);
-    while (!ready.empty()) {
-        const int i = ready.front();
-        ready.pop_front();
-        if (placed[i]) continue;
-        placed[i] = true;
-        const Node& node = nodes_[i];
-        if (node.op != Op::kInput && node.op != Op::kConst && node.op != Op::kReg) {
-            evalOrder_.push_back(i);
-        }
-        for (const int c : consumers[i]) {
-            if (--indegree[c] == 0) ready.push_back(c);
-        }
-    }
-    for (int i = 0; i < n; ++i) {
-        if (!placed[i]) {
-            throw NetlistError("combinational cycle through net " + nodes_[i].name);
-        }
-    }
 }
 
 void Netlist::setInput(const std::string& name, std::uint64_t value) {
@@ -125,7 +84,56 @@ int Netlist::probeIndex(const std::string& name) const {
     return it == byName_.end() ? -1 : it->second;
 }
 
+std::uint64_t Netlist::computeValue(const Node& node) const {
+    const auto a = [&] { return nodes_[node.src[0]].value; };
+    const auto b = [&] { return nodes_[node.src[1]].value; };
+    // Signed compare honors the *source* nets' declared widths: a 4-bit
+    // 0xF is -1, not 15. Zero-extending the masked storage (the old
+    // behavior) made lt identical to ltu for every net narrower than
+    // 64 bits.
+    const auto sext = [&](int operand) {
+        const Node& s = nodes_[node.src[operand]];
+        if (s.width >= 64) return static_cast<std::int64_t>(s.value);
+        const unsigned sh = 64 - s.width;
+        return static_cast<std::int64_t>(s.value << sh) >> sh;
+    };
+
+    std::uint64_t value = 0;
+    switch (node.op) {
+    case Op::kNot: value = ~a(); break;
+    case Op::kAnd: value = a() & b(); break;
+    case Op::kOr: value = a() | b(); break;
+    case Op::kXor: value = a() ^ b(); break;
+    case Op::kAdd: value = a() + b(); break;
+    case Op::kSub: value = a() - b(); break;
+    case Op::kLt: value = sext(0) < sext(1) ? 1 : 0; break;
+    case Op::kLtu: value = a() < b() ? 1 : 0; break;
+    case Op::kEq: value = a() == b() ? 1 : 0; break;
+    case Op::kMux:
+        value = a() != 0 ? nodes_[node.src[1]].value : nodes_[node.src[2]].value;
+        break;
+    default: value = node.value; break;
+    }
+    return value & mask(node);
+}
+
+void Netlist::captureRegNext() {
+    // Capture reg next-values after combinational settle.
+    for (const int r : regIndices_) {
+        Node& reg = nodes_[r];
+        reg.next = nodes_[reg.src[0]].value & mask(reg);
+    }
+}
+
 void Netlist::eval() {
+    if (evalMode_ == EvalMode::kLevelized) {
+        evalLevelized();
+    } else {
+        evalDirtyBit();
+    }
+}
+
+void Netlist::evalDirtyBit() {
     lastEvalComputed_ = 0;
     // Quiescent fast path: no input or register changed since the last
     // settle, so every combinational value (and every reg next-value
@@ -144,36 +152,7 @@ void Netlist::eval() {
         if (!srcChanged) continue;  // Cone is quiet; value still valid.
         ++lastEvalComputed_;
 
-        const auto a = [&] { return nodes_[node.src[0]].value; };
-        const auto b = [&] { return nodes_[node.src[1]].value; };
-        // Signed compare honors the *source* nets' declared widths: a 4-bit
-        // 0xF is -1, not 15. Zero-extending the masked storage (the old
-        // behavior) made lt identical to ltu for every net narrower than
-        // 64 bits.
-        const auto sext = [&](int operand) {
-            const Node& s = nodes_[node.src[operand]];
-            if (s.width >= 64) return static_cast<std::int64_t>(s.value);
-            const unsigned sh = 64 - s.width;
-            return static_cast<std::int64_t>(s.value << sh) >> sh;
-        };
-
-        std::uint64_t value = 0;
-        switch (node.op) {
-        case Op::kNot: value = ~a(); break;
-        case Op::kAnd: value = a() & b(); break;
-        case Op::kOr: value = a() | b(); break;
-        case Op::kXor: value = a() ^ b(); break;
-        case Op::kAdd: value = a() + b(); break;
-        case Op::kSub: value = a() - b(); break;
-        case Op::kLt: value = sext(0) < sext(1) ? 1 : 0; break;
-        case Op::kLtu: value = a() < b() ? 1 : 0; break;
-        case Op::kEq: value = a() == b() ? 1 : 0; break;
-        case Op::kMux:
-            value = a() != 0 ? nodes_[node.src[1]].value : nodes_[node.src[2]].value;
-            break;
-        default: value = node.value; break;
-        }
-        value &= mask(node);
+        const std::uint64_t value = computeValue(node);
         // Dirtiness propagates only on an actual change, so a glitch that
         // recomputes to the same value stops the wave there.
         if (value != node.value) {
@@ -181,11 +160,23 @@ void Netlist::eval() {
             dirty_[i] = 1;
         }
     }
-    // Capture reg next-values after combinational settle.
-    for (const int r : regIndices_) {
-        Node& reg = nodes_[r];
-        reg.next = nodes_[reg.src[0]].value & mask(reg);
+    captureRegNext();
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    anyDirty_ = false;
+}
+
+void Netlist::evalLevelized() {
+    // Full recompute in the canonical level-major order. Because a node's
+    // value is a pure function of its sources and both orders are
+    // topological, this settles to exactly the values the dirty-bit path
+    // computes — it just never consults (only clears) the dirty state, so
+    // the two modes can be switched freely between calls.
+    for (const int i : evalOrder_) {
+        Node& node = nodes_[i];
+        node.value = computeValue(node);
     }
+    lastEvalComputed_ = evalOrder_.size();
+    captureRegNext();
     std::fill(dirty_.begin(), dirty_.end(), 0);
     anyDirty_ = false;
 }

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rtl/analysis/levelize.hh"
 #include "rtl/netlist_graph.hh"
 
 namespace g5r::rtl {
@@ -43,6 +44,14 @@ namespace g5r::rtl {
 class NetlistError : public std::runtime_error {
 public:
     explicit NetlistError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// How eval() propagates combinational logic. Both modes produce identical
+/// values on every net after every eval()/tick() — the flight-recorder
+/// identity tests in tests/bridge enforce this byte-for-byte.
+enum class EvalMode {
+    kDirtyBit,   ///< Activity-driven: recompute only cones whose sources changed.
+    kLevelized,  ///< Full recompute in the canonical level-major schedule.
 };
 
 class Netlist {
@@ -56,9 +65,21 @@ public:
     std::uint64_t output(const std::string& name) const;
 
     /// Propagate combinational logic from inputs/register outputs.
-    /// Activity-driven: only cones whose sources changed since the last
-    /// settle are recomputed, and a fully quiescent netlist is a no-op.
+    /// Dispatches on evalMode(): activity-driven dirty-bit propagation by
+    /// default, or a full level-ordered recompute (evalLevelized()).
     void eval();
+
+    /// Full recompute in the canonical level-major schedule from
+    /// rtl::analysis::levelize(). Slower per call than the dirty-bit path
+    /// but branch-free per node and trivially parallelizable per level —
+    /// the interpreter-side twin of the planned compiled backend.
+    void evalLevelized();
+
+    void setEvalMode(EvalMode mode) { evalMode_ = mode; }
+    EvalMode evalMode() const { return evalMode_; }
+
+    /// The canonical level schedule this netlist evaluates with.
+    const analysis::LevelSchedule& schedule() const { return sched_; }
 
     /// Clock edge: eval(), then latch every reg.
     void tick();
@@ -111,16 +132,20 @@ private:
     std::uint64_t mask(const Node& n) const {
         return n.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n.width) - 1);
     }
-    void topoSort();
+    std::uint64_t computeValue(const Node& node) const;
+    void evalDirtyBit();
+    void captureRegNext();
 
     NetlistGraph graph_;
     std::vector<Node> nodes_;
     std::map<std::string, int, std::less<>> byName_;
     std::map<std::string, int, std::less<>> outputs_;  ///< alias -> node index.
-    std::vector<int> evalOrder_;   ///< Combinational nodes, topologically sorted.
+    analysis::LevelSchedule sched_;  ///< Canonical level schedule of graph_.
+    std::vector<int> evalOrder_;   ///< == sched_.order (comb nodes, level-major).
     std::vector<int> regIndices_;
     std::vector<std::uint8_t> dirty_;  ///< Per node: value changed since last settle.
     bool anyDirty_ = true;
+    EvalMode evalMode_ = EvalMode::kDirtyBit;
     std::size_t lastEvalComputed_ = 0;
 };
 

@@ -1,0 +1,104 @@
+// Baseline suppression (lint/baseline.hh): fingerprinting, multiset
+// counting, line-number independence, and the JSON file round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "lint/baseline.hh"
+#include "lint/netlist_lint.hh"
+
+namespace g5r::lint {
+namespace {
+
+Report twoFindings() {
+    Report rep;
+    rep.add("G5R-FLOATING-NET", Severity::kWarning, "net 'x' drives nothing",
+            SourceLoc{"a.nl", 3}, {"x"});
+    rep.add("G5R-WIDTH-TRUNC", Severity::kWarning, "'s' is 8 bits wide ...",
+            SourceLoc{"a.nl", 7}, {"s"});
+    return rep;
+}
+
+TEST(Baseline, SuppressesExactlyTheRecordedFindings) {
+    const Report rep = twoFindings();
+    const Baseline base = makeBaseline(rep);
+    EXPECT_EQ(base.total(), 2u);
+
+    std::size_t suppressed = 0;
+    const Report filtered = applyBaseline(rep, base, &suppressed);
+    EXPECT_EQ(suppressed, 2u);
+    EXPECT_TRUE(filtered.empty());
+}
+
+TEST(Baseline, NewFindingsSurviveSuppression) {
+    const Baseline base = makeBaseline(twoFindings());
+    Report rep = twoFindings();
+    rep.add("G5R-DUP-CONE", Severity::kWarning, "2 identical cones",
+            SourceLoc{"a.nl", 9}, {"p", "q"});
+
+    std::size_t suppressed = 0;
+    const Report filtered = applyBaseline(rep, base, &suppressed);
+    EXPECT_EQ(suppressed, 2u);
+    ASSERT_EQ(filtered.diagnostics().size(), 1u);
+    EXPECT_EQ(filtered.diagnostics().front().ruleId, "G5R-DUP-CONE");
+}
+
+TEST(Baseline, FingerprintIgnoresLineNumbersButNotNets) {
+    Report moved;
+    // Same finding, shifted by an unrelated edit: still suppressed.
+    moved.add("G5R-FLOATING-NET", Severity::kWarning, "net 'x' drives nothing",
+              SourceLoc{"a.nl", 55}, {"x"});
+    // Same rule on a different net: NOT suppressed.
+    moved.add("G5R-FLOATING-NET", Severity::kWarning, "net 'y' drives nothing",
+              SourceLoc{"a.nl", 56}, {"y"});
+
+    std::size_t suppressed = 0;
+    const Report filtered = applyBaseline(moved, makeBaseline(twoFindings()),
+                                          &suppressed);
+    EXPECT_EQ(suppressed, 1u);
+    ASSERT_EQ(filtered.diagnostics().size(), 1u);
+    EXPECT_EQ(filtered.diagnostics().front().nets, std::vector<std::string>{"y"});
+}
+
+TEST(Baseline, DuplicateFingerprintsAreCountedNotCollapsed) {
+    Report two;
+    two.add("G5R-DUP-CONE", Severity::kWarning, "dup", SourceLoc{"a.nl", 1}, {"x"});
+    two.add("G5R-DUP-CONE", Severity::kWarning, "dup", SourceLoc{"a.nl", 2}, {"x"});
+    const Baseline base = makeBaseline(two);
+
+    Report three = two;
+    three.add("G5R-DUP-CONE", Severity::kWarning, "dup", SourceLoc{"a.nl", 3}, {"x"});
+    std::size_t suppressed = 0;
+    const Report filtered = applyBaseline(three, base, &suppressed);
+    EXPECT_EQ(suppressed, 2u);  // Budget of two; the third stays visible.
+    EXPECT_EQ(filtered.diagnostics().size(), 1u);
+}
+
+TEST(Baseline, FileRoundTripPreservesEntries) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "g5r_baseline_test.json").string();
+    const Baseline written = makeBaseline(twoFindings());
+    saveBaseline(written, path);
+    const Baseline read = loadBaseline(path);
+    EXPECT_EQ(read.entries, written.entries);
+    std::remove(path.c_str());
+}
+
+TEST(Baseline, LoadRejectsMissingAndMalformedFiles) {
+    EXPECT_THROW(loadBaseline("/nonexistent/dir/base.json"), std::runtime_error);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "g5r_baseline_bad.json").string();
+    {
+        std::ofstream out(path);
+        out << "{\"not\": \"a baseline\"}\n";
+    }
+    EXPECT_THROW(loadBaseline(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace g5r::lint

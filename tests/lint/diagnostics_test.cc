@@ -5,7 +5,9 @@
 #include <set>
 #include <sstream>
 
+#include "exp/json.hh"
 #include "lint/diagnostics.hh"
+#include "lint/netlist_lint.hh"
 
 namespace g5r::lint {
 namespace {
@@ -78,6 +80,50 @@ TEST(Diagnostics, EmitJsonEscapesAndCounts) {
     EXPECT_NE(out.find("\"nets\":[\"net1\"]"), std::string::npos);
     EXPECT_NE(out.find("\"errors\":1"), std::string::npos);
     EXPECT_NE(out.find("\"warnings\":0"), std::string::npos);
+}
+
+TEST(Diagnostics, EmitJsonRoundTripsThroughTheJsonParser) {
+    // The emitted document must be *parseable*, not merely grep-able: every
+    // escape emitJson produces has to survive exp::Json::parse unchanged.
+    const std::string nasty =
+        std::string{"quote\" slash\\ nl\n tab\t cr\r bell\x07 nul"} +
+        std::string(1, '\0') + "esc\x1b end";
+    Report report;
+    report.add("G5R-SYNTAX", Severity::kError, nasty, SourceLoc{nasty, 7},
+               {nasty, "plain"});
+    report.add("G5R-DUP-CONE", Severity::kWarning, "ok", SourceLoc{"b.nl", 1});
+
+    std::ostringstream os;
+    emitJson(report, os);
+    const exp::Json doc = exp::Json::parse(os.str());
+
+    EXPECT_EQ(doc.at("errors").asInt(), 1);
+    EXPECT_EQ(doc.at("warnings").asInt(), 1);
+    const auto& diags = doc.at("diagnostics").items();
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].at("rule").asString(), "G5R-SYNTAX");
+    EXPECT_EQ(diags[0].at("message").asString(), nasty);
+    EXPECT_EQ(diags[0].at("file").asString(), nasty);
+    EXPECT_EQ(diags[0].at("line").asInt(), 7);
+    ASSERT_EQ(diags[0].at("nets").size(), 2u);
+    EXPECT_EQ(diags[0].at("nets").items()[0].asString(), nasty);
+    EXPECT_EQ(diags[1].at("rule").asString(), "G5R-DUP-CONE");
+}
+
+TEST(Diagnostics, LintJsonOutputForHostileNetNamesStaysParseable) {
+    // The netlist tokenizer splits on whitespace only, so a net name can
+    // legally carry raw control characters; the whole CLI pipeline (lint ->
+    // emitJson) must still produce a valid document.
+    const std::string source = "input a\x01z\ninput b\nnot y b\noutput o y\n";
+    const Report report = runNetlistSource(source, "hostile\x02.nl");
+    std::ostringstream os;
+    emitJson(report, os);
+    const exp::Json doc = exp::Json::parse(os.str());
+    ASSERT_GT(doc.at("diagnostics").size(), 0u);  // a<SOH>z floats.
+    const auto& first = doc.at("diagnostics").items()[0];
+    EXPECT_EQ(first.at("rule").asString(), "G5R-FLOATING-INPUT");
+    EXPECT_EQ(first.at("file").asString(), "hostile\x02.nl");
+    EXPECT_EQ(first.at("nets").items()[0].asString(), "a\x01z");
 }
 
 TEST(Diagnostics, RuleRegistryHasUniqueStableIds) {

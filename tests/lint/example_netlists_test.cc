@@ -1,0 +1,86 @@
+// The shipped example netlists (examples/netlists/) are living lint
+// documentation: every broken_<rule>.nl demo must fire exactly the rule it
+// demonstrates, and the clean designs must stay clean — so the examples can
+// never drift from the rules they illustrate (CI lints them all too).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/netlist_lint.hh"
+
+#ifndef G5R_EXAMPLES_DIR
+#error "tests must be compiled with -DG5R_EXAMPLES_DIR"
+#endif
+
+namespace g5r::lint {
+namespace {
+
+Report lintExample(const std::string& file) {
+    const std::string path = std::string{G5R_EXAMPLES_DIR} + "/netlists/" + file;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << "missing example: " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return runNetlistSource(ss.str(), file);
+}
+
+std::vector<std::string> rulesFired(const Report& report) {
+    std::vector<std::string> rules;
+    for (const auto& d : report.diagnostics()) rules.push_back(d.ruleId);
+    std::sort(rules.begin(), rules.end());
+    rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+    return rules;
+}
+
+TEST(ExampleNetlists, CleanDesignsLintClean) {
+    for (const char* file : {"counter8.nl", "accumulator.nl"}) {
+        const Report report = lintExample(file);
+        EXPECT_TRUE(report.empty()) << file << ":\n" << [&] {
+            std::ostringstream os;
+            emitText(report, os);
+            return os.str();
+        }();
+    }
+}
+
+TEST(ExampleNetlists, ConstConeDemoFiresExactlyConstNet) {
+    const Report report = lintExample("broken_const_cone.nl");
+    EXPECT_EQ(rulesFired(report), std::vector<std::string>{"G5R-CONST-NET"});
+    EXPECT_EQ(report.byRule("G5R-CONST-NET").front()->nets,
+              std::vector<std::string>{"gated"});
+}
+
+TEST(ExampleNetlists, TruncLossDemoFiresExactlyTruncLoss) {
+    const Report report = lintExample("broken_trunc_loss.nl");
+    EXPECT_EQ(rulesFired(report), std::vector<std::string>{"G5R-TRUNC-LOSS"});
+    EXPECT_EQ(report.byRule("G5R-TRUNC-LOSS").front()->nets,
+              std::vector<std::string>{"s"});
+}
+
+TEST(ExampleNetlists, DupConeDemoFiresExactlyDupCone) {
+    const Report report = lintExample("broken_dup_cone.nl");
+    EXPECT_EQ(rulesFired(report), std::vector<std::string>{"G5R-DUP-CONE"});
+    EXPECT_EQ(report.byRule("G5R-DUP-CONE").front()->nets,
+              (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ExampleNetlists, LegacyDemosStillFireTheirRules) {
+    EXPECT_EQ(rulesFired(lintExample("broken_comb_loop.nl")),
+              std::vector<std::string>{"G5R-COMB-LOOP"});
+    EXPECT_EQ(rulesFired(lintExample("broken_multi_driver.nl")),
+              std::vector<std::string>{"G5R-MULTI-DRIVER"});
+    EXPECT_EQ(rulesFired(lintExample("broken_width_trunc.nl")),
+              (std::vector<std::string>{"G5R-WIDTH-MISMATCH", "G5R-WIDTH-TRUNC"}));
+    EXPECT_EQ(rulesFired(lintExample("broken_dead_cone.nl")),
+              (std::vector<std::string>{"G5R-DEAD-CONE", "G5R-FLOATING-NET"}));
+    EXPECT_EQ(rulesFired(lintExample("broken_floating.nl")),
+              (std::vector<std::string>{"G5R-DEAD-CONE", "G5R-FLOATING-INPUT",
+                                        "G5R-FLOATING-NET"}));
+}
+
+}  // namespace
+}  // namespace g5r::lint

@@ -223,6 +223,185 @@ TEST(NetlistLint, SourceLocationsCarryTheFileName) {
     EXPECT_NE(text.find("designs/adder.nl:1:"), std::string::npos) << text;
 }
 
+// --- semantic rules (value-range / cone analysis) ---------------------------
+
+TEST(NetlistLint, ProvablyBenignTruncationIsSilent) {
+    // a & 3 <= 3 always fits 8 bits: structurally a truncation (16 -> 8),
+    // semantically proven harmless.
+    const Report report = runNetlistSource(R"(
+        input a 16
+        const three 3 16
+        and masked a three 8
+        output o masked
+    )");
+    EXPECT_TRUE(report.byRule("G5R-WIDTH-TRUNC").empty());
+    EXPECT_TRUE(report.byRule("G5R-TRUNC-LOSS").empty());
+    EXPECT_TRUE(report.empty());
+}
+
+TEST(NetlistLint, ProvenLossTruncationUpgradesToTruncLoss) {
+    const Report report = runNetlistSource(R"(
+        input a 16
+        const h 256 16
+        or t a h 16
+        add s t h 8
+        output o s
+    )");
+    const Diagnostic& d = only(report, "G5R-TRUNC-LOSS");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, std::vector<std::string>{"s"});
+    // The range evidence is spelled out for the user.
+    EXPECT_NE(d.message.find("[512, "), std::string::npos) << d.message;
+    EXPECT_TRUE(report.byRule("G5R-WIDTH-TRUNC").empty());
+}
+
+TEST(NetlistLint, PossibleTruncationKeepsWidthTruncWithRangeEvidence) {
+    const Report report = runNetlistSource(R"(
+        input a 32
+        input b 32
+        add s a b 8
+        output o s
+    )");
+    const Diagnostic& d = only(report, "G5R-WIDTH-TRUNC");
+    EXPECT_NE(d.message.find("value range"), std::string::npos) << d.message;
+    EXPECT_TRUE(report.byRule("G5R-TRUNC-LOSS").empty());
+}
+
+TEST(NetlistLint, ConstNetFiresOnConstDrivenCone) {
+    const Report report = runNetlistSource(R"(
+        input data 8
+        const zero 0 8
+        and gated data zero 8
+        or out gated data 8
+        output o out
+    )");
+    const Diagnostic& d = only(report, "G5R-CONST-NET");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, std::vector<std::string>{"gated"});
+    EXPECT_NE(d.message.find("constant 0"), std::string::npos) << d.message;
+    // Declared constants themselves never fire the rule.
+    EXPECT_EQ(report.byRule("G5R-CONST-NET").size(), 1u);
+}
+
+TEST(NetlistLint, ConstNetFiresOnStuckRegister) {
+    const Report report = runNetlistSource(R"(
+        reg r r 7 8
+        output o r
+    )");
+    const Diagnostic& d = only(report, "G5R-CONST-NET");
+    EXPECT_EQ(d.nets, std::vector<std::string>{"r"});
+    EXPECT_NE(d.message.find("stuck at 7"), std::string::npos) << d.message;
+}
+
+TEST(NetlistLint, FreeRunningCounterIsNotStuck) {
+    const Report report = runNetlistSource(R"(
+        const one 1 8
+        add next acc one 8
+        reg acc next 0 8
+        output sum acc
+    )");
+    EXPECT_TRUE(report.byRule("G5R-CONST-NET").empty());
+}
+
+TEST(NetlistLint, ConstCompareFiresWithPolarity) {
+    const Report report = runNetlistSource(R"(
+        input a 4
+        const c 16 8
+        ltu always a c
+        eq  never a c
+        mux m always a a 4
+        mux n never a a 4
+        or  o m n 4
+        output out o
+    )");
+    const auto compares = report.byRule("G5R-CONST-COMPARE");
+    ASSERT_EQ(compares.size(), 2u);
+    EXPECT_NE(compares[0]->message.find("always true"), std::string::npos)
+        << compares[0]->message;
+    EXPECT_NE(compares[1]->message.find("always false"), std::string::npos)
+        << compares[1]->message;
+    // Decided compares are reported as compares, not as constant nets.
+    EXPECT_TRUE(report.byRule("G5R-CONST-NET").empty());
+}
+
+TEST(NetlistLint, UndecidableCompareIsSilent) {
+    const Report report = runNetlistSource(R"(
+        input a 8
+        input b 8
+        ltu t a b
+        mux m t a b 8
+        output o m
+    )");
+    EXPECT_TRUE(report.byRule("G5R-CONST-COMPARE").empty());
+    EXPECT_TRUE(report.empty());
+}
+
+TEST(NetlistLint, DupConeReportsEveryClassMember) {
+    const Report report = runNetlistSource(R"(
+        input a
+        input b
+        and x a b
+        and y b a
+        or o x y
+        output sum o
+    )");
+    const Diagnostic& d = only(report, "G5R-DUP-CONE");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, (std::vector<std::string>{"x", "y"}));
+    EXPECT_NE(d.message.find("'x' is duplicated by 'y'"), std::string::npos)
+        << d.message;
+}
+
+TEST(NetlistLint, DistinctConesDoNotFireDupCone) {
+    const Report report = runNetlistSource(R"(
+        input a
+        input b
+        input c
+        and x a b
+        and y a c
+        or o x y
+        output sum o
+    )");
+    EXPECT_TRUE(report.byRule("G5R-DUP-CONE").empty());
+    EXPECT_TRUE(report.empty());
+}
+
+TEST(NetlistLint, DeepLogicFiresPastTheConfiguredBudget) {
+    std::ostringstream src;
+    src << "input a\n";
+    std::string prev = "a";
+    for (int i = 0; i < 6; ++i) {
+        src << "not n" << i << ' ' << prev << "\n";
+        prev = "n" + std::to_string(i);
+    }
+    src << "output o " << prev << "\n";
+
+    NetlistLintOptions tight;
+    tight.maxLogicDepth = 4;
+    const Report deep = runNetlistSource(src.str(), "", tight);
+    const Diagnostic& d = only(deep, "G5R-DEEP-LOGIC");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.nets, std::vector<std::string>{"n5"});  // Critical-path end.
+    EXPECT_NE(d.message.find("depth is 6"), std::string::npos) << d.message;
+
+    // Default budget (64) tolerates the same chain.
+    EXPECT_TRUE(runNetlistSource(src.str()).byRule("G5R-DEEP-LOGIC").empty());
+}
+
+TEST(NetlistLint, SocNetlistsPassTheZeroFindingsGate) {
+    // The netlist designs the SoC actually instantiates (the bitonic model's
+    // default n=16 and the test size n=8) must stay free of every rule in
+    // the registry — semantic rules included.
+    for (const unsigned n : {8u, 16u}) {
+        const Report report = runNetlistSource(rtl::bitonicSorterNetlist(n));
+        EXPECT_TRUE(report.empty()) << "bitonic n=" << n << ":\n" << [&] {
+            std::ostringstream os;
+            emitText(report, os);
+            return os.str();
+        }();
+    }
+}
+
 // --- strict elaboration -----------------------------------------------------
 
 TEST(NetlistStrict, ConstructorThrowsWithFullCyclePath) {
