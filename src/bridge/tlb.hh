@@ -32,10 +32,18 @@ public:
 
     /// Install a virtual -> physical mapping covering [va, va+bytes).
     void map(Addr va, Addr pa, std::uint64_t bytes) {
+        if (bytes == 0) return;  // Empty range; va+bytes-1 would underflow.
         const Addr firstPage = va >> kPageShift;
         const Addr lastPage = (va + bytes - 1) >> kPageShift;
         for (Addr page = firstPage; page <= lastPage; ++page) {
             pageTable_[page] = (pa >> kPageShift) + (page - firstPage);
+        }
+        // Drop cached copies of the remapped pages so stale translations
+        // can't outlive the page table update.
+        for (auto& e : entries_) {
+            if (e.valid && e.vpage >= firstPage && e.vpage <= lastPage) {
+                e = Entry{};
+            }
         }
     }
 
@@ -59,16 +67,18 @@ public:
             ++identityFallbacks_;
             return va;
         }
-        // Refill the LRU cached entry.
-        Entry* victim = &entries_[0];
-        for (auto& e : entries_) {
-            if (!e.valid) {
-                victim = &e;
-                break;
+        // Refill the LRU cached entry (if caching is enabled at all).
+        if (!entries_.empty()) {
+            Entry* victim = &entries_[0];
+            for (auto& e : entries_) {
+                if (!e.valid) {
+                    victim = &e;
+                    break;
+                }
+                if (e.lastUsed < victim->lastUsed) victim = &e;
             }
-            if (e.lastUsed < victim->lastUsed) victim = &e;
+            *victim = Entry{page, it->second, true, ++lru_};
         }
-        *victim = Entry{page, it->second, true, ++lru_};
         return (it->second << kPageShift) | offset;
     }
 

@@ -1,0 +1,108 @@
+#include "rtl/codegen/compile.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace g5r::rtl::codegen {
+namespace {
+
+/// Single-quote @p arg for /bin/sh: the only character needing care inside
+/// single quotes is the quote itself.
+std::string shellQuote(const std::string& arg) {
+    std::string out = "'";
+    for (const char c : arg) {
+        if (c == '\'') {
+            out += "'\\''";
+        } else {
+            out += c;
+        }
+    }
+    out += '\'';
+    return out;
+}
+
+std::string resolveCxx(const CompileOptions& opts) {
+    if (!opts.cxx.empty()) return opts.cxx;
+    if (const char* env = std::getenv("CXX"); env != nullptr && *env != '\0') {
+        return env;
+    }
+    return "c++";
+}
+
+}  // namespace
+
+std::string compileCommand(const CompileOptions& opts, const std::string& srcPath,
+                           const std::string& soPath) {
+    std::string cmd = shellQuote(resolveCxx(opts));
+    // The generated code is plain C++17, position independent, and meant to
+    // be fast: straight-line level blocks with register-promoted locals
+    // reward -O3 the way GSIM/CCSS-style compiled simulators do.
+    cmd += " -O3 -fPIC -shared -std=c++17";
+    for (const auto& flag : opts.extraFlags) cmd += ' ' + shellQuote(flag);
+    cmd += ' ' + shellQuote(srcPath) + " -o " + shellQuote(soPath);
+    return cmd;
+}
+
+bool compileNetlistModel(const Netlist& netlist, const CodegenOptions& cgOpts,
+                         const CompileOptions& opts, const std::string& soPath,
+                         std::string* error, CodegenStats* stats) {
+    const std::string source = emitCompiledModel(netlist, cgOpts, stats);
+    const std::string srcPath = soPath + ".cc";
+    {
+        std::ofstream out(srcPath, std::ios::trunc);
+        if (!out) {
+            if (error != nullptr) *error = "cannot write " + srcPath;
+            return false;
+        }
+        out << source;
+        if (!out.flush()) {
+            if (error != nullptr) *error = "short write to " + srcPath;
+            return false;
+        }
+    }
+
+    // Capture the compiler's stdout+stderr so failures carry the real
+    // diagnostics instead of a bare exit status.
+    const std::string cmd = compileCommand(opts, srcPath, soPath) + " 2>&1";
+    std::string toolOutput;
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+        if (error != nullptr) *error = "cannot run host compiler: " + cmd;
+        if (!opts.keepSource) std::remove(srcPath.c_str());
+        return false;
+    }
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+        toolOutput.append(buf, got);
+    }
+    const int status = ::pclose(pipe);
+
+    if (!opts.keepSource) std::remove(srcPath.c_str());
+    if (status != 0) {
+        if (error != nullptr) {
+            *error = "host compiler failed (status " + std::to_string(status) +
+                     "):\n" + cmd + "\n" + toolOutput;
+        }
+        std::remove(soPath.c_str());  // Never leave a half-linked library.
+        return false;
+    }
+    return true;
+}
+
+bool compileNetlistModelFromSource(std::string_view source,
+                                   const CodegenOptions& cgOpts,
+                                   const CompileOptions& opts,
+                                   const std::string& soPath, std::string* error,
+                                   CodegenStats* stats) {
+    try {
+        const Netlist netlist{source};
+        return compileNetlistModel(netlist, cgOpts, opts, soPath, error, stats);
+    } catch (const NetlistError& e) {
+        if (error != nullptr) *error = e.what();
+        return false;
+    }
+}
+
+}  // namespace g5r::rtl::codegen

@@ -1,0 +1,58 @@
+#include "rtl/codegen/kernel_loader.hh"
+
+#include <dlfcn.h>
+
+namespace g5r::rtl::codegen {
+namespace {
+
+void fail(std::string* error, const std::string& what) {
+    if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+std::unique_ptr<CompiledKernel> CompiledKernel::load(const std::string& soPath,
+                                                     std::string* error) {
+    void* handle = ::dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+        const char* why = ::dlerror();
+        fail(error, "dlopen failed: " + std::string{why != nullptr ? why : soPath});
+        return nullptr;
+    }
+    auto getApi = reinterpret_cast<G5rNetlistKernelGetApiFn>(
+        ::dlsym(handle, G5R_NETLIST_KERNEL_GET_API_SYMBOL));
+    if (getApi == nullptr) {
+        fail(error, soPath + " exports no " G5R_NETLIST_KERNEL_GET_API_SYMBOL
+                            " (not a compiled netlist library?)");
+        ::dlclose(handle);
+        return nullptr;
+    }
+    const G5rNetlistKernelApi* api = getApi();
+    if (api == nullptr || api->abi_version != G5R_NETLIST_KERNEL_ABI_VERSION) {
+        fail(error, soPath + ": kernel ABI mismatch");
+        ::dlclose(handle);
+        return nullptr;
+    }
+    void* instance = api->create();
+    if (instance == nullptr) {
+        fail(error, soPath + ": kernel create() failed");
+        ::dlclose(handle);
+        return nullptr;
+    }
+    return std::unique_ptr<CompiledKernel>{
+        new CompiledKernel{handle, api, instance}};
+}
+
+CompiledKernel::~CompiledKernel() {
+    api_->destroy(instance_);
+    ::dlclose(dlHandle_);
+}
+
+int CompiledKernel::outputIndex(const std::string& alias) const {
+    for (std::uint32_t i = 0; i < api_->num_outputs; ++i) {
+        if (alias == api_->output_names[i]) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+}  // namespace g5r::rtl::codegen

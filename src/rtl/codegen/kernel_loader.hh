@@ -1,0 +1,59 @@
+// dlopen RAII handle for the raw-kernel face of a compiled netlist library.
+//
+// SharedLibModel (bridge/rtl_model.hh) loads the simulator-facing
+// G5rRtlModelApi table; this loader resolves the *second* exported symbol,
+// the G5rNetlistKernelApi of netlist_kernel.h, giving conformance tests and
+// benchmarks direct set-input / eval / get-output access to the generated
+// evaluation code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rtl/codegen/netlist_kernel.h"
+
+namespace g5r::rtl::codegen {
+
+class CompiledKernel {
+public:
+    /// dlopen @p soPath and instantiate one kernel. Returns nullptr (and
+    /// fills @p error when non-null) on a missing library/symbol, an ABI
+    /// mismatch, or a failed create().
+    static std::unique_ptr<CompiledKernel> load(const std::string& soPath,
+                                                std::string* error = nullptr);
+    ~CompiledKernel();
+    CompiledKernel(const CompiledKernel&) = delete;
+    CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+    const char* name() const { return api_->name; }
+    std::uint32_t numInputs() const { return api_->num_inputs; }
+    std::uint32_t numOutputs() const { return api_->num_outputs; }
+    std::string inputName(std::uint32_t i) const { return api_->input_names[i]; }
+    unsigned inputWidth(std::uint32_t i) const { return api_->input_widths[i]; }
+    std::string outputName(std::uint32_t i) const { return api_->output_names[i]; }
+    unsigned outputWidth(std::uint32_t i) const { return api_->output_widths[i]; }
+
+    void reset() { api_->reset(instance_); }
+    void setInput(std::uint32_t index, std::uint64_t value) {
+        api_->set_input(instance_, index, value);
+    }
+    void eval() { api_->eval(instance_); }
+    void tick() { api_->tick(instance_); }
+    std::uint64_t output(std::uint32_t index) const {
+        return api_->get_output(instance_, index);
+    }
+
+    /// Output index of @p alias, or -1 when the library exports no such net.
+    int outputIndex(const std::string& alias) const;
+
+private:
+    CompiledKernel(void* dlHandle, const G5rNetlistKernelApi* api, void* instance)
+        : dlHandle_(dlHandle), api_(api), instance_(instance) {}
+
+    void* dlHandle_;
+    const G5rNetlistKernelApi* api_;
+    void* instance_;
+};
+
+}  // namespace g5r::rtl::codegen

@@ -227,8 +227,6 @@ std::string bitonicSorterNetlist(unsigned n, unsigned width) {
         // negative values), sign-extended from the lane width.
         os << "lt " << tag << "_cmp " << a << ' ' << b << "\n";
         // ascending: lo gets min, hi gets max.
-        const char* selLo = ascending ? " " : " ";
-        (void)selLo;
         if (ascending) {
             os << "mux " << tag << "_lo " << tag << "_cmp " << a << ' ' << b << "\n";
             os << "mux " << tag << "_hi " << tag << "_cmp " << b << ' ' << a << "\n";

@@ -105,11 +105,18 @@ public:
     /// Node index of a named net, or -1 when unknown (never throws).
     int probeIndex(const std::string& name) const;
 
-    /// Value/width/name of node @p index after the last eval().
-    std::uint64_t valueAt(int index) const { return nodes_[static_cast<std::size_t>(index)].value; }
-    unsigned widthAt(int index) const { return nodes_[static_cast<std::size_t>(index)].width; }
+    /// Value/width/name of node @p index after the last eval(). Like
+    /// probeIndex(), these never throw: the -1 miss sentinel (or any other
+    /// out-of-range index) reads as value 0, width 0, empty name.
+    std::uint64_t valueAt(int index) const {
+        return nodeInRange(index) ? nodes_[static_cast<std::size_t>(index)].value : 0;
+    }
+    unsigned widthAt(int index) const {
+        return nodeInRange(index) ? nodes_[static_cast<std::size_t>(index)].width : 0;
+    }
     const std::string& nameAt(int index) const {
-        return nodes_[static_cast<std::size_t>(index)].name;
+        static const std::string kNoName;
+        return nodeInRange(index) ? nodes_[static_cast<std::size_t>(index)].name : kNoName;
     }
 
     /// The parsed IR this netlist was elaborated from (lint re-runs, tools).
@@ -129,6 +136,9 @@ private:
     };
 
     int indexOf(const std::string& name) const;
+    bool nodeInRange(int index) const {
+        return index >= 0 && static_cast<std::size_t>(index) < nodes_.size();
+    }
     std::uint64_t mask(const Node& n) const {
         return n.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n.width) - 1);
     }

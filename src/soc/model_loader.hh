@@ -27,11 +27,41 @@ inline std::string rtlModelPath(const std::string& shortName) {
     return rtlModelDir() + "/lib" + shortName + "_rtl.so";
 }
 
+/// Path of a g5r-netlistc compiled model library (lib<name>_c<n>.so).
+inline std::string compiledNetlistModelPath(const std::string& shortName,
+                                            unsigned n) {
+    return rtlModelDir() + "/lib" + shortName + "_c" + std::to_string(n) + ".so";
+}
+
+/// Resolve the library for a model + config pair: the interpreted model by
+/// default, the netlistc-compiled one when the config carries eval=compiled
+/// (the element count follows the same "n=" token the interpreted wrapper
+/// parses — default 16, powers of two up to 64).
+inline std::string rtlModelPathForConfig(const std::string& shortName,
+                                         const std::string& config) {
+    const auto evalPos = config.find("eval=");
+    if (evalPos == std::string::npos ||
+        config.compare(evalPos + 5, 8, "compiled") != 0) {
+        return rtlModelPath(shortName);
+    }
+    unsigned n = 16;
+    if (const auto nPos = config.find("n="); nPos != std::string::npos &&
+        (nPos == 0 || config[nPos - 1] == ',')) {
+        const unsigned parsed = static_cast<unsigned>(
+            std::strtoul(config.c_str() + nPos + 2, nullptr, 10));
+        if (parsed >= 2 && (parsed & (parsed - 1)) == 0 && parsed <= 64) {
+            n = parsed;
+        }
+    }
+    return compiledNetlistModelPath(shortName, n);
+}
+
 /// Load "pmu", "nvdla" or "bitonic" (or any model following the naming
-/// convention) from the model directory.
+/// convention) from the model directory. A config carrying eval=compiled
+/// loads the netlistc-built library instead of the interpreted one.
 inline std::unique_ptr<RtlModel> loadRtlModel(const std::string& shortName,
                                               const std::string& config = "") {
-    return SharedLibModel::load(rtlModelPath(shortName), config);
+    return SharedLibModel::load(rtlModelPathForConfig(shortName, config), config);
 }
 
 }  // namespace g5r

@@ -1,8 +1,9 @@
-// Levelized-vs-dirty-bit evaluator identity at the bridge level: the same
-// bitonic sort driven through the dlopen'd model under both interpreter
-// modes must produce byte-identical flight recordings (the PR 5 recorder is
-// the witness — g5r-diff exit 0 == DivergenceReport{!diverged}) and equal
-// sorted outputs read back over the device channel.
+// Evaluator identity at the bridge level: the same bitonic sort driven
+// through the dlopen'd model under both interpreter modes — and through the
+// g5r-netlistc compiled library (eval=compiled) — must produce byte-identical
+// flight recordings (the PR 5 recorder is the witness — g5r-diff exit 0 ==
+// DivergenceReport{!diverged}) and equal sorted outputs read back over the
+// device channel.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include "obs/session.hh"
 #include "sim/packet_id.hh"
 #include "sim/rng.hh"
+#include "soc/model_loader.hh"
 
 #ifndef G5R_MODEL_DIR
 #error "tests must be compiled with -DG5R_MODEL_DIR"
@@ -45,10 +47,11 @@ std::vector<std::uint64_t> runRecordedSort(const std::string& config,
     auto session = obs::ObsSession::create(sim, opts, "levelized_identity");
 
     RtlObjectParams params;
+    // eval=compiled resolves to the g5r-netlistc library (libbitonic_cN.so),
+    // everything else to the interpreted model.
     auto rtl = std::make_unique<RtlObject>(
         sim, "bitonic_obj", params,
-        SharedLibModel::load(std::string{G5R_MODEL_DIR} + "/libbitonic_rtl.so",
-                             config),
+        SharedLibModel::load(rtlModelPathForConfig("bitonic", config), config),
         nullptr);
     auto req = std::make_unique<testing::TestRequester>(sim, "host");
     req->port().bind(rtl->cpuSidePort(0));
@@ -121,6 +124,53 @@ TEST_P(LevelizedRecord, BothEvalModesProduceIdenticalRecordingsAndOutputs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LevelizedRecord, ::testing::Values(4u, 8u, 16u));
+
+// The compiled backend through the same lens: the native .so emitted by
+// g5r-netlistc, loaded over the identical dlopen ABI, must be recording-
+// identical to BOTH interpreter modes — the acceptance witness that codegen
+// preserves per-tick device behaviour, not just final values.
+class CompiledRecord : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CompiledRecord, CompiledModelIsRecordingIdenticalToBothInterpreters) {
+    const unsigned n = GetParam();
+    Rng rng{0xC0 + n};
+    std::vector<std::uint64_t> data(n);
+    for (auto& v : data) v = rng.below(100'000);
+
+    const std::string base = "n=" + std::to_string(n);
+    const std::string recDirty =
+        tmpPath("g5r_cdirty_" + std::to_string(n) + ".g5rec");
+    const std::string recLevel =
+        tmpPath("g5r_clevel_" + std::to_string(n) + ".g5rec");
+    const std::string recCompiled =
+        tmpPath("g5r_ccomp_" + std::to_string(n) + ".g5rec");
+
+    const auto outDirty = runRecordedSort(base + ",eval=dirty", data, recDirty);
+    const auto outLevel = runRecordedSort(base + ",eval=levelized", data, recLevel);
+    const auto outCompiled =
+        runRecordedSort(base + ",eval=compiled", data, recCompiled);
+
+    std::vector<std::uint64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(outCompiled, expected);
+    EXPECT_EQ(outCompiled, outDirty);
+    EXPECT_EQ(outCompiled, outLevel);
+
+    for (const auto* other : {&recDirty, &recLevel}) {
+        const auto rep =
+            obs::diffRecordingFiles(*other, recCompiled, obs::DiffLane::kBoth);
+        EXPECT_TRUE(rep.comparable) << rep.error;
+        EXPECT_FALSE(rep.diverged)
+            << *other << " vs compiled: " << rep.lane << " @ interval "
+            << rep.intervalIndex << ": " << rep.detail;
+    }
+
+    std::remove(recDirty.c_str());
+    std::remove(recLevel.c_str());
+    std::remove(recCompiled.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompiledRecord, ::testing::Values(4u, 8u, 16u));
 
 TEST(LevelizedRecord, EnvVarSelectsTheLevelizedMode) {
     // GEM5RTL_NETLIST_EVAL covers fixed-config deployments; the run must

@@ -63,5 +63,59 @@ TEST(Tlb, CachedEntriesEvictLru) {
     EXPECT_EQ(tlb.translate(0x103456), 0x503456u);
 }
 
+TEST(Tlb, RemapInvalidatesCachedEntries) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb", 4};
+    tlb.map(0x40000, 0x80000, 0x1000);
+    EXPECT_EQ(tlb.translate(0x40008), 0x80008u);  // Miss -> refill: cached now.
+    // Remap the same virtual page somewhere else. The cached copy must not
+    // keep serving the stale physical page.
+    tlb.map(0x40000, 0xC0000, 0x1000);
+    EXPECT_EQ(tlb.translate(0x40008), 0xC0008u);
+    EXPECT_EQ(tlb.translate(0x40010), 0xC0010u);
+}
+
+TEST(Tlb, RemapLeavesNonOverlappingCachedEntriesAlone) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb", 4};
+    tlb.map(0x10000, 0x90000, 0x1000);
+    tlb.map(0x20000, 0xA0000, 0x2000);
+    tlb.translate(0x10000);  // Cache both mappings.
+    tlb.translate(0x20000);
+    tlb.translate(0x21000);
+    tlb.map(0x20000, 0xB0000, 0x2000);  // Remap the second range only.
+    const double hitsBefore = tlb.statsGroup().find("hits")->value();
+    EXPECT_EQ(tlb.translate(0x10020), 0x90020u);  // Untouched entry still hits.
+    EXPECT_EQ(tlb.statsGroup().find("hits")->value(), hitsBefore + 1);
+    EXPECT_EQ(tlb.translate(0x20020), 0xB0020u);
+    EXPECT_EQ(tlb.translate(0x21020), 0xB1020u);
+}
+
+TEST(Tlb, ZeroCachedEntriesStillTranslates) {
+    Simulation sim;
+    // cachedEntries == 0: the refill path must not touch &entries_[0] on an
+    // empty vector.
+    Tlb tlb{sim, "tlb", 0};
+    tlb.map(0x10000, 0x90000, 0x2000);
+    EXPECT_EQ(tlb.translate(0x10004), 0x90004u);
+    EXPECT_EQ(tlb.translate(0x11004), 0x91004u);
+    EXPECT_EQ(tlb.translate(0x10004), 0x90004u);  // Never cached, still right.
+    EXPECT_EQ(tlb.statsGroup().find("hits")->value(), 0.0);
+    EXPECT_EQ(tlb.translate(0x30000), 0x30000u);  // Identity fallback intact.
+}
+
+TEST(Tlb, ZeroByteMapMapsNothing) {
+    Simulation sim;
+    Tlb tlb{sim, "tlb"};
+    // va == 0 with bytes == 0 underflowed va + bytes - 1 pre-fix and walked
+    // ~2^52 pages; an empty range must simply map nothing.
+    tlb.map(0, 0x5000, 0);
+    EXPECT_EQ(tlb.mappedPages(), 0u);
+    EXPECT_EQ(tlb.translate(0), 0u);
+    tlb.map(0x2340, 0x9000, 0);  // Unaligned empty range: same.
+    EXPECT_EQ(tlb.mappedPages(), 0u);
+    EXPECT_EQ(tlb.translate(0x2340), 0x2340u);
+}
+
 }  // namespace
 }  // namespace g5r

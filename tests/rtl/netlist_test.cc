@@ -201,6 +201,34 @@ TEST(Netlist, RegInitValues) {
     EXPECT_EQ(nl.output("o"), 0u);
 }
 
+TEST(Netlist, WatchAccessorsTolerateTheProbeMissSentinel) {
+    Netlist nl{R"(
+        input a 8
+        output o a
+    )"};
+    nl.setInput("a", 0x1FF);
+    nl.eval();
+
+    // probeIndex() documents -1 for unknown nets and promises never to
+    // throw; the index-based accessors must honour the same contract
+    // instead of indexing nodes_ out of bounds.
+    EXPECT_EQ(nl.probeIndex("nope"), -1);
+    EXPECT_EQ(nl.valueAt(-1), 0u);
+    EXPECT_EQ(nl.widthAt(-1), 0u);
+    EXPECT_EQ(nl.nameAt(-1), "");
+    const int past = static_cast<int>(nl.numNodes());
+    EXPECT_EQ(nl.valueAt(past), 0u);
+    EXPECT_EQ(nl.widthAt(past), 0u);
+    EXPECT_EQ(nl.nameAt(past), "");
+
+    // In-range indices still resolve normally.
+    const int idx = nl.probeIndex("a");
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(nl.valueAt(idx), 0xFFu);
+    EXPECT_EQ(nl.widthAt(idx), 8u);
+    EXPECT_EQ(nl.nameAt(idx), "a");
+}
+
 TEST(Netlist, ErrorDetection) {
     EXPECT_THROW(Netlist{"bogus x a b\n"}, NetlistError);
     EXPECT_THROW(Netlist{"and y a b\n"}, NetlistError);           // Undefined nets.
