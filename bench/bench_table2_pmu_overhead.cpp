@@ -37,6 +37,8 @@ struct OnceResult {
     double wallSeconds = 0;
     bool completed = false;
     Tick finalTick = 0;
+    double memLatencyP50 = 0;  ///< SoC-wide memory-bus latency percentiles.
+    double memLatencyP99 = 0;
     std::shared_ptr<const obs::ProfileReport> profile;  ///< GEM5RTL_PROFILE=1.
 };
 
@@ -62,6 +64,8 @@ OnceResult runOnce(std::uint64_t baseElems, bool attachPmu, bool waveform, bool 
     once.wallSeconds = std::chrono::duration<double>(end - start).count();
     once.completed = result.completed;
     once.finalTick = result.finalTick;
+    once.memLatencyP50 = result.memLatencyP50;
+    once.memLatencyP99 = result.memLatencyP99;
     once.profile = result.profile;
     return once;
 }
@@ -270,6 +274,8 @@ int main(int argc, char** argv) {
         entry["runtimeTicks"] = outcomes[i].ok ? outcomes[i].value.finalTick : Tick{0};
         entry["wallSeconds"] = outcomes[i].wallSeconds;
         entry["completed"] = outcomes[i].ok && outcomes[i].value.completed;
+        entry["memLatencyP50"] = outcomes[i].ok ? outcomes[i].value.memLatencyP50 : 0.0;
+        entry["memLatencyP99"] = outcomes[i].ok ? outcomes[i].value.memLatencyP99 : 0.0;
         if (!outcomes[i].error.empty()) entry["error"] = outcomes[i].error;
         if (outcomes[i].ok && outcomes[i].value.profile != nullptr) {
             exp::Json buckets = exp::Json::object();

@@ -34,6 +34,9 @@ struct DsePoint {
 
     /// Per-master memory-bus latency summaries (always collected).
     std::vector<std::pair<std::string, obs::LatencySummary>> memLatency;
+    /// SoC-wide latency percentiles (merged per-master histograms).
+    double memLatencyP50 = 0;
+    double memLatencyP99 = 0;
     /// Host-time profile, only when GEM5RTL_PROFILE (or config) enabled it.
     std::shared_ptr<const obs::ProfileReport> profile;
 };
@@ -80,6 +83,8 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
     column.ideal.runtime = idealRun.runtimeTicks;
     column.ideal.ok = idealRun.completed && idealRun.checksumsOk;
     column.ideal.memLatency = idealRun.memLatency;
+    column.ideal.memLatencyP50 = idealRun.memLatencyP50;
+    column.ideal.memLatencyP99 = idealRun.memLatencyP99;
     column.ideal.profile = idealRun.profile;
 
     for (const MemTech tech : experiments::memTechSeries()) {
@@ -90,6 +95,8 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
         point.ok = run.completed && run.checksumsOk;
         point.normalized = experiments::normalizedPerf(idealRun, run);
         point.memLatency = run.memLatency;
+        point.memLatencyP50 = run.memLatencyP50;
+        point.memLatencyP99 = run.memLatencyP99;
         point.profile = run.profile;
         column.techs[tech] = point;
     }
@@ -235,9 +242,13 @@ inline void writeDseBenchJson(const DseResults& results, const std::string& benc
                 one["minTicks"] = s.minTicks;
                 one["meanTicks"] = s.meanTicks;
                 one["maxTicks"] = s.maxTicks;
+                one["p50Ticks"] = s.p50Ticks;
+                one["p99Ticks"] = s.p99Ticks;
                 lat[suffix] = std::move(one);
             }
             entry["memLatency"] = std::move(lat);
+            entry["memLatencyP50"] = p.memLatencyP50;
+            entry["memLatencyP99"] = p.memLatencyP99;
         }
         if (p.profile != nullptr) {
             exp::Json buckets = exp::Json::object();

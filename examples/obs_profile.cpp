@@ -5,11 +5,14 @@
 // Output artefacts:
 //   * <dir>/fig7_hbm_q64.trace.json — load it at https://ui.perfetto.dev
 //     (dir from GEM5RTL_TRACE=<dir>, default current directory)
+//   * <dir>/fig7_hbm_q64.metrics.jsonl — the stats timeline, when
+//     GEM5RTL_METRICS=<dir> is set; render it with `g5r-stats timeline`
 //   * a host-time profile table: RTL eval vs memory system vs queue overhead
-//   * per-master memory-bus latency distributions
+//   * per-master memory-bus latency distributions with p50/p99 percentiles
 //
-// CI runs this with GEM5RTL_TRACE=trace-out and then validates the emitted
-// trace with tests/obs (TraceCheck.*).
+// CI runs this with GEM5RTL_TRACE=trace-out GEM5RTL_METRICS=trace-out and
+// then validates the emitted trace with tests/obs (TraceCheck.*) and the
+// timeline with g5r-stats.
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -47,10 +50,19 @@ int main() {
     if (!result.memLatency.empty()) {
         std::printf("\nmemory-bus round-trip latency per master (ticks):\n");
         for (const auto& [master, lat] : result.memLatency) {
-            std::printf("  %-16s count=%-8llu min=%-8.0f mean=%-10.1f max=%.0f\n",
+            std::printf("  %-16s count=%-8llu min=%-8.0f mean=%-10.1f p50=%-8.0f "
+                        "p99=%-8.0f max=%.0f\n",
                         master.c_str(), static_cast<unsigned long long>(lat.count),
-                        lat.minTicks, lat.meanTicks, lat.maxTicks);
+                        lat.minTicks, lat.meanTicks, lat.p50Ticks, lat.p99Ticks,
+                        lat.maxTicks);
         }
+        std::printf("  %-16s p50=%-8.0f p99=%.0f\n", "(SoC merged)",
+                    result.memLatencyP50, result.memLatencyP99);
+    }
+
+    if (!result.metricsPath.empty()) {
+        std::printf("\nmetrics timeline written to %s (render with g5r-stats)\n",
+                    result.metricsPath.c_str());
     }
     return result.completed && result.checksumsOk ? 0 : 1;
 }

@@ -29,7 +29,19 @@ RtlObject::RtlObject(Simulation& sim, std::string objName, const RtlObjectParams
                                     "RTL cycles skipped while quiescence-gated")),
       statIrqEdges_(stats_.scalar("irqEdges", "interrupt line level changes")),
       statOutstanding_(stats_.distribution("outstanding",
-                                           "outstanding memory requests per tick")) {
+                                           "outstanding memory requests per tick")),
+      statOutstandingHist_(stats_.histogram(
+          "outstandingHist", "outstanding memory requests histogram (quantiles)")),
+      statDevQueueHist_(stats_.histogram(
+          "devQueueHist", "device-queue depth histogram (quantiles)")) {
+    // Busy fraction of elapsed RTL cycles: ticks actually delivered over
+    // ticks delivered plus ticks skipped while quiescence-gated. 0 before
+    // the first tick; 1.0 exactly when gating never engaged.
+    stats_.formula("dutyCycle", "delivered / (delivered + gated) RTL cycles", [this] {
+        const double busy = statTicks_.value();
+        const double total = busy + statGatedTicks_.value();
+        return total > 0.0 ? busy / total : 0.0;
+    });
     simAssert(model_ != nullptr, "RtlObject needs a model");
     for (unsigned i = 0; i < kNumCpuSidePorts; ++i) {
         cpuPorts_[i] = std::make_unique<CpuSidePort>(
@@ -224,6 +236,8 @@ void RtlObject::tick() {
     model_->tick(in, out);
     ++statTicks_;
     statOutstanding_.sample(static_cast<double>(outstanding_));
+    statOutstandingHist_.sampleInt(outstanding_);
+    statDevQueueHist_.sampleInt(devQueue_.size());
 
     // Device handshake resolution. Accepting a beat frees queue space, so
     // refused ports get their retry here (see sendDevRetries).

@@ -192,6 +192,11 @@ private:
     stats::Scalar& statGatedTicks_;
     stats::Scalar& statIrqEdges_;
     stats::Distribution& statOutstanding_;
+    /// Quantile-capable views of the bridge queues, sampled each delivered
+    /// tick alongside statOutstanding_: outstanding memory requests and
+    /// device-queue depth.
+    stats::Histogram& statOutstandingHist_;
+    stats::Histogram& statDevQueueHist_;
 };
 
 }  // namespace g5r

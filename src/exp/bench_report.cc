@@ -32,7 +32,7 @@ std::string hostName() {
 
 Json benchDocument(std::string_view benchName, unsigned jobs) {
     Json doc = Json::object();
-    doc["schema"] = 1;
+    doc["schema"] = 2;
     doc["bench"] = benchName;
     doc["jobs"] = jobs;
 

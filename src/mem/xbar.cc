@@ -50,6 +50,8 @@ ResponsePort& Xbar::addCpuSidePort(const std::string& suffix) {
     upPorts_.push_back(std::make_unique<UpPort>(name() + ".cpu_side." + suffix, *this, idx));
     latency_.push_back(&stats_.distribution(
         "latency." + suffix, "round-trip ticks, request accept to response arrival"));
+    latencyHist_.push_back(&stats_.histogram(
+        "latencyHist." + suffix, "round-trip ticks histogram (quantiles)"));
 
     respLayers_.emplace_back();
     Layer& layer = respLayers_.back();
@@ -170,7 +172,9 @@ bool Xbar::handleResp(unsigned srcDown, PacketPtr& pkt) {
         }
         return false;
     }
-    latency_[dstUp]->sample(static_cast<double>(curTick() - it->second.issued));
+    const Tick rtt = curTick() - it->second.issued;
+    latency_[dstUp]->sample(static_cast<double>(rtt));
+    latencyHist_[dstUp]->sampleInt(rtt);
     respRoute_.erase(it);
     ++respsRouted_;
     acceptIntoLayer(layer, pkt, srcDown, *layer.deliverEvent);

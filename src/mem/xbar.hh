@@ -124,6 +124,10 @@ private:
     /// Per upstream port: round-trip ticks from request accept to response
     /// arrival ("latency.<suffix>"), indexed like upPorts_.
     std::vector<stats::Distribution*> latency_;
+    /// Quantile-capable companions to latency_ ("latencyHist.<suffix>"):
+    /// same sample stream, but with exact bucket counts so p50/p99/p999 are
+    /// answerable and per-master histograms merge losslessly.
+    std::vector<stats::Histogram*> latencyHist_;
 };
 
 }  // namespace g5r

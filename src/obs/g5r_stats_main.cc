@@ -1,0 +1,4 @@
+// g5r-stats: timelines, percentile tables, and the perf-regression gate.
+#include "obs/stats_cli.hh"
+
+int main(int argc, char** argv) { return g5r::obs::statsCliMain(argc, argv); }

@@ -42,6 +42,19 @@ ObsOptions ObsOptions::fromEnv(ObsOptions base) {
         const long long v = std::strtoll(env, nullptr, 10);
         if (v >= 1) base.recordIntervalTicks = static_cast<Tick>(v);
     }
+    if (const char* env = std::getenv("GEM5RTL_METRICS")) {
+        const std::string_view v{env};
+        if (v.empty() || v == "0") {
+            base.metricsEnabled = false;
+        } else {
+            base.metricsEnabled = true;
+            if (v != "1") base.metricsDir = std::string{v};
+        }
+    }
+    if (const char* env = std::getenv("GEM5RTL_METRICS_INTERVAL")) {
+        const long long v = std::strtoll(env, nullptr, 10);
+        if (v >= 1) base.metricsIntervalTicks = static_cast<Tick>(v);
+    }
     return base;
 }
 

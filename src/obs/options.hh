@@ -15,6 +15,10 @@
 //   GEM5RTL_RECORD=<dir>     write it to <dir> (created by the caller)
 //   GEM5RTL_RECORD=0         force recording off
 //   GEM5RTL_RECORD_INTERVAL=T digest interval in ticks
+//   GEM5RTL_METRICS=1        write <run>.metrics.jsonl timeline here
+//   GEM5RTL_METRICS=<dir>    write it to <dir> (created by the caller)
+//   GEM5RTL_METRICS=0        force the metrics timeline off
+//   GEM5RTL_METRICS_INTERVAL=T metrics sample interval in ticks
 #pragma once
 
 #include <string>
@@ -59,7 +63,22 @@ struct ObsOptions {
     /// dumped by panic()). Active whenever recording is enabled.
     unsigned blackBoxDepth = 64;
 
-    bool anyEnabled() const { return traceEnabled || profileEnabled || recordEnabled; }
+    /// Write a metrics timeline (.metrics.jsonl sidecar): periodic
+    /// delta-encoded snapshots of every stats::Group; see obs/metrics.hh.
+    bool metricsEnabled = false;
+
+    /// Directory the timeline is written into ("." = current directory).
+    std::string metricsDir = ".";
+
+    /// Exact timeline path; overrides metricsDir when non-empty.
+    std::string metricsPath;
+
+    /// Simulated-time interval between metrics samples.
+    Tick metricsIntervalTicks = 1'000'000;  // 1 us of simulated time.
+
+    bool anyEnabled() const {
+        return traceEnabled || profileEnabled || recordEnabled || metricsEnabled;
+    }
 
     /// Overlay the GEM5RTL_* environment variables (see header comment)
     /// onto @p base. The environment wins where set, so a benchmark run

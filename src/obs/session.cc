@@ -45,6 +45,7 @@ std::string joinDir(const std::string& dir, std::string file) {
 std::vector<std::pair<std::string, LatencySummary>> portLatencies(const stats::Group& group) {
     std::vector<std::pair<std::string, LatencySummary>> out;
     static constexpr std::string_view kKey = "latency.";
+    static constexpr std::string_view kHistKey = "latencyHist.";
     for (const auto& stat : group.all()) {
         const auto* dist = dynamic_cast<const stats::Distribution*>(stat.get());
         if (dist == nullptr) continue;
@@ -52,11 +53,35 @@ std::vector<std::pair<std::string, LatencySummary>> portLatencies(const stats::G
         const auto pos = name.find(kKey);
         if (pos == std::string::npos) continue;
         if (pos != 0 && name[pos - 1] != '.') continue;
-        out.emplace_back(
-            name.substr(pos + kKey.size()),
-            LatencySummary{dist->count(), dist->minValue(), dist->mean(), dist->maxValue()});
+        const std::string suffix = name.substr(pos + kKey.size());
+        LatencySummary summary{dist->count(), dist->minValue(), dist->mean(),
+                               dist->maxValue(), 0.0, 0.0};
+        // The shadowing histogram lives in the same group under
+        // "latencyHist.<suffix>" (relative to the group prefix).
+        const auto* hist = dynamic_cast<const stats::Histogram*>(
+            group.find(std::string{kHistKey} + suffix));
+        if (hist != nullptr) {
+            summary.p50Ticks = hist->quantile(0.50);
+            summary.p99Ticks = hist->quantile(0.99);
+        }
+        out.emplace_back(suffix, summary);
     }
     return out;
+}
+
+stats::HistogramData mergedPortLatencyHistogram(const stats::Group& group) {
+    stats::HistogramData merged;
+    static constexpr std::string_view kHistKey = "latencyHist.";
+    for (const auto& stat : group.all()) {
+        const auto* hist = dynamic_cast<const stats::Histogram*>(stat.get());
+        if (hist == nullptr) continue;
+        const std::string& name = hist->name();
+        const auto pos = name.find(kHistKey);
+        if (pos == std::string::npos) continue;
+        if (pos != 0 && name[pos - 1] != '.') continue;
+        merged.merge(hist->data());
+    }
+    return merged;
 }
 
 std::unique_ptr<ObsSession> ObsSession::create(Simulation& sim, const ObsOptions& opts,
@@ -71,8 +96,10 @@ ObsSession::ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view
       stride_(opts.profileStride ? opts.profileStride : 1),
       t0_(Clock::now()) {
     if (opts.profileEnabled) profiler_ = std::make_unique<HostProfiler>(stride_);
-    const std::string base = (opts.traceEnabled || opts.recordEnabled) ? runFileBase(runName)
-                                                                       : std::string{};
+    const std::string base =
+        (opts.traceEnabled || opts.recordEnabled || opts.metricsEnabled)
+            ? runFileBase(runName)
+            : std::string{};
     if (opts.traceEnabled) {
         trace_ = std::make_unique<TraceSession>(joinDir(opts.traceDir, base + ".trace.json"));
     }
@@ -82,6 +109,14 @@ ObsSession::ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view
                                : joinDir(opts.recordDir, base + ".g5rec");
         recorder_ = std::make_unique<Recorder>(std::move(path), std::string{runName},
                                                opts.recordIntervalTicks, opts.blackBoxDepth);
+    }
+    if (opts.metricsEnabled) {
+        std::string path = !opts.metricsPath.empty()
+                               ? opts.metricsPath
+                               : joinDir(opts.metricsDir, base + ".metrics.jsonl");
+        metrics_ = std::make_unique<MetricsSession>(sim, std::move(path),
+                                                    std::string{runName},
+                                                    opts.metricsIntervalTicks);
     }
 
     // Slot 0 catches events whose name matches no registered object;
@@ -109,6 +144,7 @@ void ObsSession::finish() {
     if (profiler_) report_ = std::make_shared<const ProfileReport>(profiler_->report());
     if (trace_) trace_->finish();
     if (recorder_) recorder_->finish(sim_.curTick());
+    if (metrics_) metrics_->finish(sim_.curTick());
 }
 
 int ObsSession::slotFor(const SimObject& obj) {
@@ -165,6 +201,7 @@ void ObsSession::dispatchBegin(const Event& ev, Tick when) {
     if (profiler_) profiler_->countDispatch(curSlot_);
     if (recorder_) recorder_->recordDispatch(when, curSlot_, owner.label, owner.labelHash);
     if (trace_ && !counters_.empty() && when >= nextCounterTick_) sampleCounters(when);
+    if (metrics_) metrics_->maybeSample(when);
 
     // Tracing needs every span timed; profiling alone only every Nth.
     timedThis_ = trace_ != nullptr;

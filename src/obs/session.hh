@@ -33,11 +33,13 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "obs/options.hh"
 #include "obs/profiler.hh"
 #include "obs/recorder.hh"
 #include "obs/trace_session.hh"
 #include "sim/observer.hh"
+#include "sim/stats.hh"
 
 namespace g5r {
 class SimObject;
@@ -51,16 +53,27 @@ class Stat;
 namespace g5r::obs {
 
 /// Compact view of one per-requestor latency distribution, for BENCH_*.json.
+/// The percentile fields come from the "latencyHist.<suffix>" histogram that
+/// shadows each "latency.<suffix>" distribution; they are 0 when no matching
+/// histogram exists.
 struct LatencySummary {
     std::uint64_t count = 0;
     double minTicks = 0.0;
     double meanTicks = 0.0;
     double maxTicks = 0.0;
+    double p50Ticks = 0.0;
+    double p99Ticks = 0.0;
 };
 
 /// All "latency.<suffix>" distributions of a stats group (the per-master
 /// round-trip distributions an Xbar maintains), keyed by suffix.
 std::vector<std::pair<std::string, LatencySummary>> portLatencies(const stats::Group& group);
+
+/// Fold every "latencyHist.<suffix>" histogram of @p group into one
+/// SoC-wide latency histogram. The merge is exact (bucket counts add), so
+/// quantiles of the result are the true quantiles of the union of all
+/// per-master sample streams.
+stats::HistogramData mergedPortLatencyHistogram(const stats::Group& group);
 
 class ObsSession final : public SimObserver {
 public:
@@ -84,6 +97,7 @@ public:
 
     TraceSession* trace() { return trace_.get(); }
     Recorder* recorder() { return recorder_.get(); }
+    MetricsSession* metrics() { return metrics_.get(); }
     bool profiling() const { return profiler_ != nullptr; }
 
     /// The profile report; non-null only after finish() when profiling.
@@ -122,6 +136,7 @@ private:
     std::unique_ptr<TraceSession> trace_;
     std::unique_ptr<HostProfiler> profiler_;
     std::unique_ptr<Recorder> recorder_;
+    std::unique_ptr<MetricsSession> metrics_;
     std::shared_ptr<const ProfileReport> report_;
 
     /// Slot 0 is "(unattributed)"; object slots are allocated lazily the

@@ -7,6 +7,28 @@
 
 namespace g5r::stats {
 
+double HistogramData::quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return minValue();
+    if (q >= 1.0) return maxValue();
+    // Rank of the quantile sample, 1-based: the smallest r such that at
+    // least ceil(q * count) samples are <= the returned value.
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= rank) {
+            // Report the upper bucket edge, clamped to the true max so an
+            // all-in-one-bucket histogram never reports above its largest
+            // sample.
+            const std::uint64_t hi = bucketHigh(i);
+            return static_cast<double>(hi < max_ ? hi : max_);
+        }
+    }
+    return maxValue();  // Unreachable when counts_ is consistent with count_.
+}
+
 std::string Group::qualify(std::string_view name) const {
     std::string full = prefix_;
     if (!full.empty()) full += '.';
@@ -14,34 +36,37 @@ std::string Group::qualify(std::string_view name) const {
     return full;
 }
 
-Scalar& Group::scalar(std::string_view name, std::string_view desc) {
-    auto stat = std::make_unique<Scalar>(qualify(name), std::string{desc});
-    Scalar& ref = *stat;
+Stat& Group::adopt(std::unique_ptr<Stat> stat) {
+    Stat& ref = *stat;
+    index_.emplace(ref.name(), stats_.size());
     stats_.push_back(std::move(stat));
     return ref;
+}
+
+Scalar& Group::scalar(std::string_view name, std::string_view desc) {
+    return static_cast<Scalar&>(
+        adopt(std::make_unique<Scalar>(qualify(name), std::string{desc})));
 }
 
 Formula& Group::formula(std::string_view name, std::string_view desc,
                         std::function<double()> fn) {
-    auto stat = std::make_unique<Formula>(qualify(name), std::string{desc}, std::move(fn));
-    Formula& ref = *stat;
-    stats_.push_back(std::move(stat));
-    return ref;
+    return static_cast<Formula&>(adopt(
+        std::make_unique<Formula>(qualify(name), std::string{desc}, std::move(fn))));
 }
 
 Distribution& Group::distribution(std::string_view name, std::string_view desc) {
-    auto stat = std::make_unique<Distribution>(qualify(name), std::string{desc});
-    Distribution& ref = *stat;
-    stats_.push_back(std::move(stat));
-    return ref;
+    return static_cast<Distribution&>(
+        adopt(std::make_unique<Distribution>(qualify(name), std::string{desc})));
+}
+
+Histogram& Group::histogram(std::string_view name, std::string_view desc) {
+    return static_cast<Histogram&>(
+        adopt(std::make_unique<Histogram>(qualify(name), std::string{desc})));
 }
 
 const Stat* Group::find(std::string_view name) const {
-    const std::string full = qualify(name);
-    for (const auto& s : stats_) {
-        if (s->name() == full) return s.get();
-    }
-    return nullptr;
+    const auto it = index_.find(qualify(name));
+    return it == index_.end() ? nullptr : stats_[it->second].get();
 }
 
 void Group::dump(std::ostream& os) const {
@@ -62,6 +87,9 @@ exp::Json Group::dumpJson() const {
             rel.remove_prefix(prefix_.size() + 1);
         }
         if (const auto* dist = dynamic_cast<const Distribution*>(s.get())) {
+            // minValue()/maxValue() guard count==0 internally, so an empty
+            // distribution serializes as all-zeros rather than the min>max
+            // accumulator sentinels.
             exp::Json d = exp::Json::object();
             d["count"] = dist->count();
             d["min"] = dist->minValue();
@@ -69,6 +97,17 @@ exp::Json Group::dumpJson() const {
             d["max"] = dist->maxValue();
             d["stddev"] = dist->stddev();
             doc[rel] = std::move(d);
+        } else if (const auto* hist = dynamic_cast<const Histogram*>(s.get())) {
+            exp::Json h = exp::Json::object();
+            h["count"] = hist->count();
+            h["min"] = hist->minValue();
+            h["mean"] = hist->mean();
+            h["max"] = hist->maxValue();
+            h["p50"] = hist->quantile(0.50);
+            h["p90"] = hist->quantile(0.90);
+            h["p99"] = hist->quantile(0.99);
+            h["p999"] = hist->quantile(0.999);
+            doc[rel] = std::move(h);
         } else {
             doc[rel] = s->value();
         }

@@ -67,11 +67,21 @@ PmuRunResult runPmuSortExperiment(const PmuRunConfig& config) {
     result.finalTick = run.tick;
     result.committedInsts = soc.core(0).committedInstructions();
     result.cycles = soc.core(0).cyclesRetired();
+    result.memLatency = obs::portLatencies(soc.memBus().statsGroup());
+    {
+        const stats::HistogramData merged =
+            obs::mergedPortLatencyHistogram(soc.memBus().statsGroup());
+        result.memLatencyP50 = merged.p50();
+        result.memLatencyP99 = merged.p99();
+    }
     if (obs::ObsSession* obsSession = soc.observability()) {
         obsSession->finish();
         result.profile = obsSession->profileReport();
         if (obsSession->recorder() != nullptr && obsSession->recorder()->ok()) {
             result.recordPath = obsSession->recorder()->path();
+        }
+        if (obsSession->metrics() != nullptr && obsSession->metrics()->ok()) {
+            result.metricsPath = obsSession->metrics()->path();
         }
     }
 
@@ -185,6 +195,12 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         if (dist != nullptr) result.avgOutstanding = dist->mean();
     }
     result.memLatency = obs::portLatencies(soc.memBus().statsGroup());
+    {
+        const stats::HistogramData merged =
+            obs::mergedPortLatencyHistogram(soc.memBus().statsGroup());
+        result.memLatencyP50 = merged.p50();
+        result.memLatencyP99 = merged.p99();
+    }
     if (obs::ObsSession* obsSession = soc.observability()) {
         obsSession->finish();
         result.profile = obsSession->profileReport();
@@ -193,6 +209,9 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         }
         if (obsSession->recorder() != nullptr && obsSession->recorder()->ok()) {
             result.recordPath = obsSession->recorder()->path();
+        }
+        if (obsSession->metrics() != nullptr && obsSession->metrics()->ok()) {
+            result.metricsPath = obsSession->metrics()->path();
         }
     }
     return result;

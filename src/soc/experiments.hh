@@ -55,8 +55,15 @@ struct PmuRunResult {
     std::vector<PmuInterval> intervals;
     std::vector<PmuObserver::Sample> rawSamples;
     double maxAbsIpcError = 0;  ///< max |pmuIpc - gem5Ipc| over intervals.
+
+    /// Per-master round-trip latency on the memory bus, plus SoC-wide
+    /// percentiles from the merged latency histograms (always collected).
+    std::vector<std::pair<std::string, obs::LatencySummary>> memLatency;
+    double memLatencyP50 = 0;
+    double memLatencyP99 = 0;
     std::shared_ptr<const obs::ProfileReport> profile;  ///< When profiling on.
     std::string recordPath;                             ///< When recording on.
+    std::string metricsPath;                            ///< When metrics timeline on.
 };
 
 /// Run the three-kernel sort benchmark with (or without) the PMU attached.
@@ -90,9 +97,14 @@ struct DseRunResult {
     /// or not observability is on.
     std::vector<std::pair<std::string, obs::LatencySummary>> memLatency;
 
+    /// SoC-wide latency percentiles from the merged per-master histograms.
+    double memLatencyP50 = 0;
+    double memLatencyP99 = 0;
+
     std::shared_ptr<const obs::ProfileReport> profile;  ///< When profiling on.
     std::string tracePath;                              ///< When tracing on.
     std::string recordPath;                             ///< When recording on.
+    std::string metricsPath;                            ///< When metrics timeline on.
 };
 
 /// One point of the design-space exploration: N accelerators, one memory

@@ -91,7 +91,7 @@ TEST(Json, TypeErrorsThrowNotCrash) {
 
 TEST(BenchReport, DocumentCarriesRequiredMetadata) {
     const Json doc = benchDocument("unit-test", 4);
-    EXPECT_EQ(doc.at("schema").asInt(), 1);
+    EXPECT_EQ(doc.at("schema").asInt(), 2);
     EXPECT_EQ(doc.at("bench").asString(), "unit-test");
     EXPECT_EQ(doc.at("jobs").asInt(), 4);
     EXPECT_TRUE(doc.contains("host"));
@@ -103,6 +103,45 @@ TEST(BenchReport, DocumentCarriesRequiredMetadata) {
     // The whole skeleton round-trips through the parser.
     const Json back = Json::parse(doc.dump(2));
     EXPECT_EQ(back.at("bench").asString(), "unit-test");
+}
+
+TEST(BenchReport, Schema2PercentilePointRoundTrips) {
+    // The schema-2 point shape: per-suffix latency objects carry
+    // p50Ticks/p99Ticks and the point carries SoC-wide memLatencyP50/P99.
+    Json doc = benchDocument("fig7", 2);
+    Json point = Json::object();
+    point["memTech"] = "hbm";
+    point["maxInflight"] = 64u;
+    point["runtimeTicks"] = std::uint64_t{987654321};
+    Json lat = Json::object();
+    Json one = Json::object();
+    one["count"] = std::uint64_t{100000};
+    one["minTicks"] = 1500.0;
+    one["meanTicks"] = 23456.5;
+    one["maxTicks"] = 901234.0;
+    one["p50Ticks"] = 21504.0;
+    one["p99Ticks"] = 114688.0;
+    lat["nvdla0.dbbif"] = std::move(one);
+    point["memLatency"] = std::move(lat);
+    point["memLatencyP50"] = 21504.0;
+    point["memLatencyP99"] = 114688.0;
+    doc["points"].push(std::move(point));
+
+    for (const int indent : {0, 2}) {
+        const Json back = Json::parse(doc.dump(indent));
+        EXPECT_EQ(back.at("schema").asInt(), 2);
+        const Json& p = back.at("points").items()[0];
+        EXPECT_DOUBLE_EQ(p.at("memLatencyP50").asDouble(), 21504.0);
+        EXPECT_DOUBLE_EQ(p.at("memLatencyP99").asDouble(), 114688.0);
+        const Json& l = p.at("memLatency").at("nvdla0.dbbif");
+        EXPECT_EQ(l.at("count").asInt(), 100000);
+        EXPECT_DOUBLE_EQ(l.at("p50Ticks").asDouble(), 21504.0);
+        EXPECT_DOUBLE_EQ(l.at("p99Ticks").asDouble(), 114688.0);
+        // Percentiles are ordered and bracketed by min/max.
+        EXPECT_LE(l.at("minTicks").asDouble(), l.at("p50Ticks").asDouble());
+        EXPECT_LE(l.at("p50Ticks").asDouble(), l.at("p99Ticks").asDouble());
+        EXPECT_LE(l.at("p99Ticks").asDouble(), l.at("maxTicks").asDouble());
+    }
 }
 
 }  // namespace

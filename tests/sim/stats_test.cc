@@ -128,6 +128,62 @@ TEST(Stats, GroupDumpJsonRoundTrips) {
     EXPECT_NEAR(lat.at("stddev").asDouble(), std::sqrt(200.0 / 3.0), 1e-9);
 }
 
+TEST(Stats, DumpJsonEmptyDistributionEmitsZeros) {
+    // A never-sampled distribution must serialize as zeros, not as its
+    // internal min/max sentinels (DBL_MAX / lowest) — downstream JSON
+    // consumers treat min > max as corruption.
+    stats::Group g{"mem"};
+    g.distribution("lat", "latency");
+    g.histogram("latHist", "latency histogram");
+    const exp::Json doc = exp::Json::parse(g.dumpJson().dump());
+    const exp::Json& lat = doc.at("lat");
+    EXPECT_EQ(lat.at("count").asInt(), 0);
+    EXPECT_DOUBLE_EQ(lat.at("min").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(lat.at("mean").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(lat.at("max").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(lat.at("stddev").asDouble(), 0.0);
+    const exp::Json& hist = doc.at("latHist");
+    EXPECT_EQ(hist.at("count").asInt(), 0);
+    EXPECT_DOUBLE_EQ(hist.at("min").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.at("p50").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.at("p999").asDouble(), 0.0);
+}
+
+TEST(Stats, DumpJsonSingleSampleCollapsesToThatValue) {
+    stats::Group g{"mem"};
+    auto& d = g.distribution("lat", "latency");
+    d.sample(42.0);
+    auto& h = g.histogram("latHist", "latency histogram");
+    h.sampleInt(42);
+    const exp::Json doc = exp::Json::parse(g.dumpJson().dump());
+    for (const char* key : {"lat", "latHist"}) {
+        const exp::Json& j = doc.at(key);
+        EXPECT_EQ(j.at("count").asInt(), 1) << key;
+        EXPECT_DOUBLE_EQ(j.at("min").asDouble(), 42.0) << key;
+        EXPECT_DOUBLE_EQ(j.at("mean").asDouble(), 42.0) << key;
+        EXPECT_DOUBLE_EQ(j.at("max").asDouble(), 42.0) << key;
+    }
+    EXPECT_DOUBLE_EQ(doc.at("lat").at("stddev").asDouble(), 0.0);
+    // All quantiles of a one-sample histogram are that sample.
+    EXPECT_DOUBLE_EQ(doc.at("latHist").at("p50").asDouble(), 42.0);
+    EXPECT_DOUBLE_EQ(doc.at("latHist").at("p999").asDouble(), 42.0);
+}
+
+TEST(Stats, FindScalesAsIndexNotScan) {
+    // find() is backed by a name index; registering many stats and looking
+    // each one up exercises index consistency across growth.
+    stats::Group g{"big"};
+    for (int i = 0; i < 200; ++i) {
+        g.scalar("s" + std::to_string(i), "x").inc(i);
+    }
+    for (int i = 0; i < 200; ++i) {
+        const stats::Stat* s = g.find("s" + std::to_string(i));
+        ASSERT_NE(s, nullptr) << i;
+        EXPECT_DOUBLE_EQ(s->value(), i);
+    }
+    EXPECT_EQ(g.find("s200"), nullptr);
+}
+
 TEST(Stats, DumpJsonLeavesTextDumpUnchanged) {
     // The JSON view is additive: the text dump must not change shape when
     // dumpJson() has been called (tools diff text dumps across runs).
