@@ -39,6 +39,11 @@ struct DsePoint {
     double memLatencyP99 = 0;
     /// Host-time profile, only when GEM5RTL_PROFILE (or config) enabled it.
     std::shared_ptr<const obs::ProfileReport> profile;
+
+    /// dmaSpm-path stats (zero on direct-path points).
+    double spmReadHits = 0;
+    double spmReadMisses = 0;
+    std::uint64_t dmaDescriptors = 0;
 };
 
 using Series = std::map<unsigned, DsePoint>;  // inflight -> point.
@@ -46,16 +51,20 @@ using Series = std::map<unsigned, DsePoint>;  // inflight -> point.
 struct DseResults {
     // [numAccel][tech] -> series over the in-flight sweep.
     std::map<unsigned, std::map<MemTech, Series>> panels;
+    // Same layout for the DMA + SPM staging path (memPath == kDmaSpm),
+    // normalised against the same direct-path ideal run.
+    std::map<unsigned, std::map<MemTech, Series>> dmaSpmPanels;
     std::map<unsigned, Series> ideal;  // [numAccel] -> ideal runtimes.
     double sweepWallSeconds = 0;       ///< Whole-sweep wall clock.
     unsigned jobs = 1;                 ///< Worker threads used.
 };
 
 /// One (instances, in-flight) column: the ideal baseline plus every
-/// technology, normalised against that baseline.
+/// technology over both memory paths, normalised against that baseline.
 struct DseColumn {
     DsePoint ideal;
     std::map<MemTech, DsePoint> techs;
+    std::map<MemTech, DsePoint> dmaSpm;
 };
 
 inline DseColumn runDseColumn(const models::NvdlaShape& shape,
@@ -87,18 +96,24 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
     column.ideal.memLatencyP99 = idealRun.memLatencyP99;
     column.ideal.profile = idealRun.profile;
 
-    for (const MemTech tech : experiments::memTechSeries()) {
-        cfg.memTech = tech;
-        DsePoint point;
-        const auto run = timed(cfg, point.wallSeconds);
-        point.runtime = run.runtimeTicks;
-        point.ok = run.completed && run.checksumsOk;
-        point.normalized = experiments::normalizedPerf(idealRun, run);
-        point.memLatency = run.memLatency;
-        point.memLatencyP50 = run.memLatencyP50;
-        point.memLatencyP99 = run.memLatencyP99;
-        point.profile = run.profile;
-        column.techs[tech] = point;
+    for (const MemPath memPath : {MemPath::kDirect, MemPath::kDmaSpm}) {
+        cfg.memPath = memPath;
+        for (const MemTech tech : experiments::memTechSeries()) {
+            cfg.memTech = tech;
+            DsePoint point;
+            const auto run = timed(cfg, point.wallSeconds);
+            point.runtime = run.runtimeTicks;
+            point.ok = run.completed && run.checksumsOk;
+            point.normalized = experiments::normalizedPerf(idealRun, run);
+            point.memLatency = run.memLatency;
+            point.memLatencyP50 = run.memLatencyP50;
+            point.memLatencyP99 = run.memLatencyP99;
+            point.profile = run.profile;
+            point.spmReadHits = run.spmReadHits;
+            point.spmReadMisses = run.spmReadMisses;
+            point.dmaDescriptors = run.dmaDescriptors;
+            (memPath == MemPath::kDirect ? column.techs : column.dmaSpm)[tech] = point;
+        }
     }
     return column;
 }
@@ -137,6 +152,9 @@ inline DseResults runDseSweep(const models::NvdlaShape& shape,
             for (const auto& [tech, point] : outcome.value.techs) {
                 results.panels[n][tech][inflight] = point;
             }
+            for (const auto& [tech, point] : outcome.value.dmaSpm) {
+                results.dmaSpmPanels[n][tech][inflight] = point;
+            }
         } else {
             // A failed column stays in the tables as not-ok points carrying
             // the error, so the sweep reports it without losing neighbours.
@@ -146,6 +164,7 @@ inline DseResults runDseSweep(const models::NvdlaShape& shape,
             results.ideal[n][inflight] = failed;
             for (const MemTech tech : experiments::memTechSeries()) {
                 results.panels[n][tech][inflight] = failed;
+                results.dmaSpmPanels[n][tech][inflight] = failed;
             }
         }
     }
@@ -177,6 +196,16 @@ inline int printAndCheckDse(const DseResults& results, const std::string& figure
             }
             std::printf("\n");
         }
+        // The DMA + SPM staging rows, same normalisation baseline.
+        for (const MemTech tech : experiments::memTechSeries()) {
+            std::printf("%-10s", (std::string(memTechName(tech)) + "+spm").c_str());
+            for (const unsigned inflight : experiments::inflightSweep()) {
+                const DsePoint& p = results.dmaSpmPanels.at(n).at(tech).at(inflight);
+                std::printf(" %7.3f", p.normalized);
+                allOk = allOk && p.ok;
+            }
+            std::printf("\n");
+        }
     }
 
     // ---- qualitative shape checks (the paper's findings) -------------------
@@ -188,8 +217,31 @@ inline int printAndCheckDse(const DseResults& results, const std::string& figure
     auto at = [&](unsigned n, MemTech tech, unsigned inflight) {
         return results.panels.at(n).at(tech).at(inflight).normalized;
     };
+    auto atSpm = [&](unsigned n, MemTech tech, unsigned inflight) {
+        return results.dmaSpmPanels.at(n).at(tech).at(inflight).normalized;
+    };
 
     check(allOk, "every run completed with a verified datapath checksum");
+
+    // The PR 9 memory-path axis: staging through DMA + SPM decouples the
+    // accelerator from DRAM latency, so at a starved in-flight window it
+    // must beat the direct DBBIF path somewhere in the sweep.
+    {
+        bool spmWinsSomewhere = false;
+        for (const auto& [n, techs] : results.dmaSpmPanels) {
+            for (const auto& [tech, series] : techs) {
+                for (const auto& [inflight, p] : series) {
+                    spmWinsSomewhere =
+                        spmWinsSomewhere ||
+                        (p.ok && p.normalized > at(n, tech, inflight));
+                }
+            }
+        }
+        check(spmWinsSomewhere,
+              "DMA+SPM staging beats the direct path for some configuration");
+        check(atSpm(1, MemTech::kDdr4_1ch, 1) > at(1, MemTech::kDdr4_1ch, 1),
+              "at 1 in-flight request, SPM staging hides DDR4-1ch latency");
+    }
 
     // Starvation: one permitted request cripples every technology.
     check(at(1, MemTech::kHbm, 1) < 0.4, "1 in-flight request is latency-crippled");
@@ -224,10 +276,11 @@ inline void writeDseBenchJson(const DseResults& results, const std::string& benc
     doc["sweepWallSeconds"] = results.sweepWallSeconds;
 
     const auto addPoint = [&doc](unsigned n, const char* tech, unsigned inflight,
-                                 const DsePoint& p) {
+                                 const DsePoint& p, const char* memPath = "direct") {
         exp::Json entry = exp::Json::object();
         entry["accelerators"] = n;
         entry["memTech"] = tech;
+        entry["memPath"] = memPath;
         entry["maxInflight"] = inflight;
         entry["runtimeTicks"] = p.runtime;
         entry["wallSeconds"] = p.wallSeconds;
@@ -260,6 +313,11 @@ inline void writeDseBenchJson(const DseResults& results, const std::string& benc
             }
             entry["profileBuckets"] = std::move(buckets);
         }
+        if (p.dmaDescriptors > 0) {
+            entry["spmReadHits"] = p.spmReadHits;
+            entry["spmReadMisses"] = p.spmReadMisses;
+            entry["dmaDescriptors"] = p.dmaDescriptors;
+        }
         doc["points"].push(std::move(entry));
     };
     for (const auto& [n, series] : results.ideal) {
@@ -271,6 +329,13 @@ inline void writeDseBenchJson(const DseResults& results, const std::string& benc
         for (const auto& [tech, series] : techs) {
             for (const auto& [inflight, point] : series) {
                 addPoint(n, memTechName(tech), inflight, point);
+            }
+        }
+    }
+    for (const auto& [n, techs] : results.dmaSpmPanels) {
+        for (const auto& [tech, series] : techs) {
+            for (const auto& [inflight, point] : series) {
+                addPoint(n, memTechName(tech), inflight, point, "dmaSpm");
             }
         }
     }

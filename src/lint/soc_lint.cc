@@ -161,4 +161,27 @@ void lintRouteCoverage(const Xbar& xbar, const AddrRange& range, Report& report)
     if (cursor < range.end) reportGap(cursor, range.end);
 }
 
+void lintDmaSpmPath(const DmaEngine& dma, const Spm& spm, const AddrRange& staged,
+                    Report& report) {
+    const auto checkBound = [&](const auto& port) {
+        if (port.isBound()) return;
+        report.add("G5R-SOC-DMASPM-UNBOUND", Severity::kError,
+                   "dmaSpm path port '" + port.name() +
+                       "' is unbound; the first transfer through it would panic",
+                   {}, {port.name()});
+    };
+    checkBound(dma.memPort());
+    checkBound(dma.spmPort());
+    checkBound(spm.cpuSidePort());
+    checkBound(spm.memSidePort());
+
+    if (staged.valid() && !containsRange(spm.range(), staged)) {
+        report.add("G5R-SOC-DMASPM-RANGE", Severity::kError,
+                   "SPM window " + hexRange(spm.range().start, spm.range().end) +
+                       " does not cover the staged range " +
+                       hexRange(staged.start, staged.end),
+                   {}, {spm.cpuSidePort().name()});
+    }
+}
+
 }  // namespace g5r::lint

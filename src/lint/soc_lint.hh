@@ -14,10 +14,16 @@
 //   G5R-SOC-UNREACHABLE-MEM warning  part of an address range no route
 //                                    covers — accesses there panic "no route"
 //   G5R-SOC-NO-ROUTE        warning  crossbar has no downstream routes
+//   G5R-SOC-DMASPM-UNBOUND  error    DMA or SPM port of a dmaSpm memory path
+//                                    left unbound — transfers would panic
+//   G5R-SOC-DMASPM-RANGE    error    the SPM window does not cover the range
+//                                    the DMA stages into it
 #pragma once
 
 #include "lint/diagnostics.hh"
 #include "mem/addr_range.hh"
+#include "mem/dma.hh"
+#include "mem/spm.hh"
 #include "mem/xbar.hh"
 
 namespace g5r::lint {
@@ -30,5 +36,11 @@ void lintXbar(const Xbar& xbar, Report& report);
 /// the same range with the same shift/bits covers it when every match value
 /// is present). Reports G5R-SOC-UNREACHABLE-MEM otherwise.
 void lintRouteCoverage(const Xbar& xbar, const AddrRange& range, Report& report);
+
+/// Structural checks over one dmaSpm memory path: all four DMA/SPM ports
+/// bound (G5R-SOC-DMASPM-UNBOUND), and the SPM window covering @p staged —
+/// the range the DMA prefetches into it (G5R-SOC-DMASPM-RANGE).
+void lintDmaSpmPath(const DmaEngine& dma, const Spm& spm, const AddrRange& staged,
+                    Report& report);
 
 }  // namespace g5r::lint

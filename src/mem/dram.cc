@@ -23,6 +23,8 @@ DramChannel::DramChannel(Simulation& sim, std::string objName,
       writeBursts_(stats_.scalar("writeBursts", "write bursts serviced")),
       busTurnarounds_(stats_.scalar("busTurnarounds", "read<->write bus switches")),
       bytesTransferred_(stats_.scalar("bytesTransferred", "data-bus bytes moved")),
+      starvationBreaks_(stats_.scalar("starvationBreaks",
+                                      "FR-FCFS picks forced to the oldest request")),
       readQueueLatency_(stats_.distribution("readLatency", "enqueue-to-data ticks")) {
     simAssert(linesPerRow_ > 0, "row buffer smaller than a cache line");
 }
@@ -61,17 +63,29 @@ void DramChannel::enqueue(PacketPtr pkt) {
     }
 }
 
-std::size_t DramChannel::pickFrFcfs(const std::deque<QueuedReq>& queue) const {
-    // First-ready: oldest request whose bank has the right row open.
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const Bank& bank = banks_[queue[i].bank];
-        if (bank.openRow == queue[i].row && bank.actReadyTick <= curTick()) return i;
-    }
-    // Second chance: any open-row match even if activation is still pending.
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        if (banks_[queue[i].bank].openRow == queue[i].row) return i;
-    }
-    return 0;  // FCFS fallback: the oldest request.
+std::size_t DramChannel::pickFrFcfs(const std::deque<QueuedReq>& queue,
+                                    unsigned& headBypasses) {
+    const auto pick = [&]() -> std::size_t {
+        // Starvation cap: once the head has been bypassed maxStarvation times
+        // in a row, age wins over row locality.
+        if (headBypasses >= params_.maxStarvation) {
+            ++starvationBreaks_;
+            return 0;
+        }
+        // First-ready: oldest request whose bank has the right row open.
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const Bank& bank = banks_[queue[i].bank];
+            if (bank.openRow == queue[i].row && bank.actReadyTick <= curTick()) return i;
+        }
+        // Second chance: any open-row match even if activation is still pending.
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            if (banks_[queue[i].bank].openRow == queue[i].row) return i;
+        }
+        return 0;  // FCFS fallback: the oldest request.
+    };
+    const std::size_t idx = pick();
+    headBypasses = (idx == 0) ? 0 : headBypasses + 1;
+    return idx;
 }
 
 Tick DramChannel::service(QueuedReq& req) {
@@ -132,7 +146,8 @@ void DramChannel::processNextRequest() {
                          (readQueue_.empty() && !writeQueue_.empty());
     auto& queue = doWrite ? writeQueue_ : readQueue_;
 
-    const std::size_t idx = pickFrFcfs(queue);
+    const std::size_t idx =
+        pickFrFcfs(queue, doWrite ? writeHeadBypasses_ : readHeadBypasses_);
     QueuedReq req = std::move(queue[idx]);
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
 
@@ -150,7 +165,7 @@ void DramChannel::processNextRequest() {
     }
 
     // The retry below can re-enter enqueue() and schedule the event already.
-    parent_.channelSpaceFreed();
+    parent_.channelSpaceFreed(channelId_, doWrite);
     if ((!readQueue_.empty() || !writeQueue_.empty()) && !nextReqEvent_.scheduled()) {
         eventQueue().schedule(nextReqEvent_, std::max(curTick(), busFreeTick_));
     }
@@ -190,9 +205,12 @@ unsigned MultiChannelDram::channelOf(Addr addr) const {
 
 bool MultiChannelDram::handleReq(PacketPtr& pkt) {
     simAssert(params_.range.contains(pkt->addr()), "DRAM request out of range");
-    DramChannel& channel = *channels_[channelOf(pkt->addr())];
+    const unsigned channelId = channelOf(pkt->addr());
+    DramChannel& channel = *channels_[channelId];
     if (!channel.canAccept(*pkt)) {
         needReqRetry_ = true;
+        retryChannel_ = channelId;
+        retryIsWrite_ = pkt->isWrite();
         ++rejectedRequests_;
         return false;
     }
@@ -221,8 +239,11 @@ void MultiChannelDram::respond(PacketPtr pkt, Tick readyTick) {
     }
 }
 
-void MultiChannelDram::channelSpaceFreed() {
-    if (needReqRetry_) {
+void MultiChannelDram::channelSpaceFreed(unsigned channelId, bool wasWrite) {
+    // Retry only when the queue that rejected the packet is the one that
+    // freed: a retry on any other channel's progress would bounce straight
+    // back off the still-full queue (and repeat every service — a storm).
+    if (needReqRetry_ && channelId == retryChannel_ && wasWrite == retryIsWrite_) {
         needReqRetry_ = false;
         port_.sendReqRetry();
     }

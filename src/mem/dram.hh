@@ -44,6 +44,11 @@ struct DramChannelParams {
     unsigned minWritesPerSwitch = 16;
     double writeHighWatermark = 0.85;  ///< Fraction of write queue that forces a drain.
     double writeLowWatermark = 0.50;   ///< Drain until below this fraction.
+    /// FR-FCFS starvation cap: after this many consecutive services that
+    /// bypassed the oldest request in a queue, the oldest wins regardless of
+    /// row state. Keeps a sustained row-hit stream to one bank from starving
+    /// an older request to another indefinitely.
+    unsigned maxStarvation = 16;
 };
 
 class MultiChannelDram;
@@ -83,8 +88,10 @@ private:
     void decode(Addr addr, unsigned& bank, Addr& row) const;
 
     void processNextRequest();
-    /// Pick the FR-FCFS winner in @p queue; returns queue.size() if none.
-    std::size_t pickFrFcfs(const std::deque<QueuedReq>& queue) const;
+    /// Pick the FR-FCFS winner in @p queue. @p headBypasses is that queue's
+    /// consecutive-bypass counter (see DramChannelParams::maxStarvation).
+    std::size_t pickFrFcfs(const std::deque<QueuedReq>& queue,
+                           unsigned& headBypasses);
     /// Issue one request: update bank/bus state, return data-ready tick.
     Tick service(QueuedReq& req);
 
@@ -103,6 +110,8 @@ private:
     bool lastWasWrite_ = false;
     bool drainingWrites_ = false;
     unsigned writesThisDrain_ = 0;
+    unsigned readHeadBypasses_ = 0;
+    unsigned writeHeadBypasses_ = 0;
 
     stats::Scalar& rowHits_;
     stats::Scalar& rowMisses_;
@@ -110,6 +119,7 @@ private:
     stats::Scalar& writeBursts_;
     stats::Scalar& busTurnarounds_;
     stats::Scalar& bytesTransferred_;
+    stats::Scalar& starvationBreaks_;
     stats::Distribution& readQueueLatency_;
 };
 
@@ -166,8 +176,11 @@ private:
     /// Called by channels when a response payload is ready at @p readyTick.
     void respond(PacketPtr pkt, Tick readyTick);
 
-    /// Called by channels whenever queue space frees up.
-    void channelSpaceFreed();
+    /// Called by a channel when one entry of its read or write queue frees
+    /// up. Only fires the port retry when that (channel, queue) is the one
+    /// whose rejection is still outstanding — any other channel freeing
+    /// space would just bounce the retried packet off the same full queue.
+    void channelSpaceFreed(unsigned channelId, bool wasWrite);
 
     void trySendResponses();
 
@@ -184,6 +197,8 @@ private:
     // Sorted insertion keeps responses in ready order across channels.
     std::deque<PendingResp> respQueue_;
     bool needReqRetry_ = false;
+    unsigned retryChannel_ = 0;   ///< Channel whose queue rejected the packet.
+    bool retryIsWrite_ = false;   ///< Which of its queues was full.
     bool respBlocked_ = false;
 
     stats::Scalar& numReads_;

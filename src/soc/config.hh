@@ -22,6 +22,17 @@
 
 namespace g5r {
 
+/// How an accelerator's memory-side traffic reaches main memory.
+enum class MemPath {
+    kDirect,  ///< DBBIF straight onto the memory bus (the paper's setup).
+    kDmaSpm,  ///< Through a per-model scratchpad warmed by a DMA engine
+              ///< (gem5-NVDLA's simple_spm/embeddedBuffer direction).
+};
+
+inline const char* memPathName(MemPath path) {
+    return path == MemPath::kDirect ? "direct" : "dmaSpm";
+}
+
 struct SocConfig {
     unsigned numCores = 8;
     Tick coreClock = periodFromGHz(2);
@@ -36,6 +47,15 @@ struct SocConfig {
 
     unsigned llcBanks = 8;
     bool l2Prefetcher = true;  ///< Table 1 has it on; ablation bench toggles it.
+
+    /// Memory-path axis for attached accelerators (Fig. 6/7 DSE). With
+    /// kDmaSpm each kMainMemory model gets a private banked SPM on its
+    /// DBBIF plus a DMA engine that stages the trace working set there.
+    MemPath memPath = MemPath::kDirect;
+    unsigned spmBanks = 8;
+    Cycles spmAccessLatency = 2;
+    unsigned spmMaxPending = 64;
+    unsigned dmaMaxInflight = 64;
 
     /// Run the interconnect lint (src/lint/soc_lint) at the end of Soc
     /// construction and panic on error-severity findings (miswired ports,

@@ -6,6 +6,7 @@
 #include "soc/model_loader.hh"
 #include "soc/nvdla_host.hh"
 #include "soc/soc.hh"
+#include "soc/spm_prefetcher.hh"
 
 namespace g5r::experiments {
 
@@ -126,13 +127,18 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
     Simulation sim;
     SocConfig socCfg = table1Config(config.memTech);
     socCfg.numCores = config.numCores;
+    socCfg.memPath = config.memPath;
     socCfg.obs = config.obs;
     Soc soc{sim, socCfg};
 
+    const bool dmaSpm = config.memPath == MemPath::kDmaSpm;
     struct Instance {
         models::NvdlaTrace trace;
         RtlObject* rtl = nullptr;
         std::unique_ptr<NvdlaHost> host;
+        std::unique_ptr<SpmPrefetcher> prefetcher;
+        models::NvdlaPlacement placement;
+        Tick doneTick = 0;  ///< Checksum read (direct) or ofmap drained (dmaSpm).
     };
     std::vector<Instance> instances(config.numAccelerators);
 
@@ -144,6 +150,7 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         placement.ofmapBase = placement.ifmapBase + 0x0200'0000ULL;
 
         Instance& inst = instances[i];
+        inst.placement = placement;
         inst.trace = models::makeConvTrace(config.workloadName + std::to_string(i),
                                            config.shape, placement, 0x5EED + i,
                                            config.sramScratchpad);
@@ -169,12 +176,34 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         NvdlaHost::Params hp;
         hp.csbBase = soc.deviceBaseOf(i);
         hp.clockPeriod = socCfg.coreClock;
+        hp.waitForRelease = dmaSpm;  // CSB programming waits for the prefetch.
         inst.host = std::make_unique<NvdlaHost>(sim, "system.host" + std::to_string(i),
                                                 hp, inst.trace);
         inst.host->port().bind(soc.addHostPort("host" + std::to_string(i)));
-        inst.host->setDoneCallback([&remaining, &sim] {
-            if (--remaining == 0) sim.exitSimLoop("all accelerators done");
-        });
+        if (dmaSpm) {
+            // Stage the working set into the SPM, release the host once it is
+            // resident, and after the checksum readback drain the ofmap back
+            // to main memory — that drain is the instance's finish line.
+            inst.prefetcher = std::make_unique<SpmPrefetcher>(
+                sim, "system.prefetch" + std::to_string(i), soc.dmaEngine(i),
+                inst.trace);
+            inst.prefetcher->setDoneCallback([&inst] { inst.host->release(); });
+            inst.host->setDoneCallback([&inst, &soc, &sim, &remaining, i,
+                                        &shape = config.shape] {
+                soc.dmaEngine(i).enqueue(DmaEngine::Descriptor{
+                    inst.placement.ofmapBase, inst.placement.ofmapBase,
+                    shape.ofmapBytes(), DmaEngine::Direction::kSpmToMem,
+                    [&inst, &sim, &remaining] {
+                        inst.doneTick = sim.curTick();
+                        if (--remaining == 0) sim.exitSimLoop("all accelerators done");
+                    }});
+            });
+        } else {
+            inst.host->setDoneCallback([&inst, &sim, &remaining] {
+                inst.doneTick = sim.curTick();
+                if (--remaining == 0) sim.exitSimLoop("all accelerators done");
+            });
+        }
     }
 
     const RunResult run = sim.run(config.maxTicks);
@@ -185,14 +214,22 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
     Tick last = 0;
     for (auto& inst : instances) {
         result.checksumsOk = result.checksumsOk && inst.host->checksumOk();
-        result.perAcceleratorTicks.push_back(inst.host->finishTick());
-        last = std::max(last, inst.host->finishTick());
+        result.perAcceleratorTicks.push_back(inst.doneTick);
+        last = std::max(last, inst.doneTick);
     }
     result.runtimeTicks = last;
     if (!instances.empty()) {
         const auto* dist = dynamic_cast<const stats::Distribution*>(
             instances[0].rtl->statsGroup().find("outstanding"));
         if (dist != nullptr) result.avgOutstanding = dist->mean();
+        if (dmaSpm) {
+            const stats::Group& spmStats = soc.spm(0).statsGroup();
+            if (const auto* s = spmStats.find("readHits")) result.spmReadHits = s->value();
+            if (const auto* s = spmStats.find("readMisses")) {
+                result.spmReadMisses = s->value();
+            }
+            result.dmaDescriptors = soc.dmaEngine(0).descriptorsCompleted();
+        }
     }
     result.memLatency = obs::portLatencies(soc.memBus().statsGroup());
     {

@@ -80,6 +80,7 @@ struct DseRunConfig {
     unsigned numCores = 8;                  ///< The paper's SoC has 8 (idle) cores.
     bool sramScratchpad = false;            ///< Weights via a SRAMIF scratchpad
                                             ///< (the paper's proposed extension).
+    MemPath memPath = MemPath::kDirect;     ///< Direct DBBIF vs DMA+SPM staging.
     Tick maxTicks = 2'000'000'000'000ULL;   ///< 2 s simulated safety net.
     bool gateIdleTicks = true;              ///< Quiescence-gate accelerator ticks.
     obs::ObsOptions obs;                    ///< Tracing/profiling for this run.
@@ -88,9 +89,15 @@ struct DseRunConfig {
 struct DseRunResult {
     bool completed = false;
     bool checksumsOk = false;
-    Tick runtimeTicks = 0;       ///< Until the last accelerator finished.
+    Tick runtimeTicks = 0;       ///< Until the last accelerator finished (for
+                                 ///< dmaSpm: until its ofmap drain completed).
     std::vector<Tick> perAcceleratorTicks;
     double avgOutstanding = 0;   ///< Mean outstanding requests (accelerator 0).
+
+    /// dmaSpm-path stats (accelerator 0; zero on the direct path).
+    double spmReadHits = 0;
+    double spmReadMisses = 0;
+    std::uint64_t dmaDescriptors = 0;
 
     /// Per-master round-trip latency on the memory bus ("latency.<suffix>"
     /// distributions), always collected — the Xbar maintains them whether

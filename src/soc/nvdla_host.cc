@@ -16,16 +16,32 @@ void NvdlaHost::startup() {
     // Trace load: data segments into main memory (functional, as the real
     // host would have done before handing off to the accelerator).
     for (const auto& seg : trace_.segments) {
-        // Chunk into line-sized functional writes to keep packets bounded.
+        // Chunk into line-bounded functional writes. Each chunk runs at most
+        // to the next 64 B line boundary: the interleaved decode downstream
+        // routes a packet by its start address at line granularity, so a
+        // line-crossing write from an unaligned seg.addr would land its tail
+        // bytes in the wrong channel's backing store.
         std::size_t offset = 0;
         while (offset < seg.bytes.size()) {
-            const auto chunk = std::min<std::size_t>(64, seg.bytes.size() - offset);
+            const auto toLineEnd =
+                static_cast<std::size_t>(64 - ((seg.addr + offset) % 64));
+            const auto chunk = std::min(toLineEnd, seg.bytes.size() - offset);
             Packet pkt{MemCmd::kWriteReq, seg.addr + offset, static_cast<unsigned>(chunk)};
             pkt.setData(seg.bytes.data() + offset);
             port_.sendFunctional(pkt);
             offset += chunk;
         }
     }
+    loaded_ = true;
+    if (params_.waitForRelease && !released_) return;
+    state_ = State::kWriteRegs;
+    startTick_ = curTick();
+    eventQueue().schedule(advanceEvent_, clockEdge());
+}
+
+void NvdlaHost::release() {
+    released_ = true;
+    if (!loaded_ || state_ != State::kIdle) return;
     state_ = State::kWriteRegs;
     startTick_ = curTick();
     eventQueue().schedule(advanceEvent_, clockEdge());

@@ -28,6 +28,10 @@ public:
         Tick clockPeriod = periodFromGHz(2);
         Cycles pollIntervalCycles = 200;  ///< Status-poll spacing.
         bool verifyChecksum = true;
+        /// When set, startup() only loads the trace segments; the CSB
+        /// programming waits for release() — used by the dmaSpm memory path,
+        /// where the SPM prefetch must finish before the accelerator starts.
+        bool waitForRelease = false;
     };
 
     NvdlaHost(Simulation& sim, std::string name, const Params& params,
@@ -37,6 +41,9 @@ public:
 
     /// Invoked once when this accelerator finishes (after checksum readback).
     void setDoneCallback(std::function<void()> cb) { doneCallback_ = std::move(cb); }
+
+    /// Start the CSB programming phase (no-op unless waiting for release).
+    void release();
 
     bool finished() const { return state_ == State::kFinished; }
     Tick startTick() const { return startTick_; }
@@ -76,6 +83,8 @@ private:
     std::function<void()> doneCallback_;
 
     State state_ = State::kIdle;
+    bool loaded_ = false;
+    bool released_ = false;
     std::size_t nextRegWrite_ = 0;
     PacketPtr pendingSend_;
     bool awaitingResp_ = false;

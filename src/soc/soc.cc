@@ -156,6 +156,11 @@ lint::Report Soc::elaborationLint() const {
     // the LLC banks) and from the LLC (through the memory bus).
     lint::lintRouteCoverage(*systemXbar_, config_.memRange, report);
     lint::lintRouteCoverage(*memBus_, config_.memRange, report);
+    for (const auto& [idx, path] : memPaths_) {
+        lint::lintXbar(*path.bus, report);
+        lint::lintRouteCoverage(*path.bus, config_.memRange, report);
+        lint::lintDmaSpmPath(*path.dma, *path.spm, config_.memRange, report);
+    }
     return report;
 }
 
@@ -189,10 +194,40 @@ RtlObject& Soc::attachRtlModel(const std::string& name, std::unique_ptr<RtlModel
         .bind(obj.cpuSidePort(0));
 
     if (memPorts != MemPorts::kNone) {
-        obj.memSidePort(0).bind(memBus_->addCpuSidePort(name + "_dbbif"));
-        if (memPorts == MemPorts::kMainMemory) {
+        if (memPorts == MemPorts::kMainMemory && config_.memPath == MemPath::kDmaSpm) {
+            // dmaSpm memory path: the DBBIF sees a private banked SPM; a DMA
+            // engine stages the working set there (and drains results back)
+            // with its own deep request window against the memory bus.
+            MemPathObjs& path = memPaths_[idx];
+            path.bus = std::make_unique<Xbar>(sim_, "system." + name + ".spmbus",
+                                              config_.nocParams());
+
+            Spm::Params spmParams;
+            spmParams.range = config_.memRange;
+            spmParams.clockPeriod = config_.coreClock;
+            spmParams.accessLatency = config_.spmAccessLatency;
+            spmParams.banks = config_.spmBanks;
+            spmParams.maxPending = config_.spmMaxPending;
+            path.spm = std::make_unique<Spm>(sim_, "system." + name + ".spm", spmParams);
+
+            DmaEngine::Params dmaParams;
+            dmaParams.clockPeriod = config_.rtlClock;
+            dmaParams.maxInflight = config_.dmaMaxInflight;
+            path.dma = std::make_unique<DmaEngine>(sim_, "system." + name + ".dma",
+                                                   dmaParams);
+
+            obj.memSidePort(0).bind(path.bus->addCpuSidePort(name + "_dbbif"));
+            path.dma->spmPort().bind(path.bus->addCpuSidePort(name + "_dma_stage"));
+            path.bus->addMemSidePort("spm", RouteSpec{config_.memRange})
+                .bind(path.spm->cpuSidePort());
+            path.spm->memSidePort().bind(memBus_->addCpuSidePort(name + "_spmfill"));
+            path.dma->memPort().bind(memBus_->addCpuSidePort(name + "_dma"));
+            obj.memSidePort(1).bind(memBus_->addCpuSidePort(name + "_sramif"));
+        } else if (memPorts == MemPorts::kMainMemory) {
+            obj.memSidePort(0).bind(memBus_->addCpuSidePort(name + "_dbbif"));
             obj.memSidePort(1).bind(memBus_->addCpuSidePort(name + "_sramif"));
         } else {
+            obj.memSidePort(0).bind(memBus_->addCpuSidePort(name + "_dbbif"));
             // The paper's proposed extension: "hook a proper SRAM such as a
             // scratchpad memory to the SRAMIF interface". Point-to-point,
             // low latency, private backing store.
@@ -211,6 +246,17 @@ RtlObject& Soc::attachRtlModel(const std::string& name, std::unique_ptr<RtlModel
     if (obs_ != nullptr) {
         if (const auto* s = obj.statsGroup().find("outstanding")) obs_->addCounter(*s);
         if (const auto* s = obj.statsGroup().find("gatedTicks")) obs_->addCounter(*s);
+        const auto it = memPaths_.find(idx);
+        if (it != memPaths_.end()) {
+            for (const char* statName : {"readHits", "readMisses"}) {
+                if (const auto* s = it->second.spm->statsGroup().find(statName)) {
+                    obs_->addCounter(*s);
+                }
+            }
+            if (const auto* s = it->second.dma->statsGroup().find("descriptors")) {
+                obs_->addCounter(*s);
+            }
+        }
     }
     return obj;
 }
@@ -219,6 +265,18 @@ BackingStore& Soc::scratchpadStore(unsigned idx) {
     const auto it = scratchpads_.find(idx);
     simAssert(it != scratchpads_.end(), "model has no scratchpad attached");
     return *it->second.store;
+}
+
+Spm& Soc::spm(unsigned idx) {
+    const auto it = memPaths_.find(idx);
+    simAssert(it != memPaths_.end(), "model has no dmaSpm memory path");
+    return *it->second.spm;
+}
+
+DmaEngine& Soc::dmaEngine(unsigned idx) {
+    const auto it = memPaths_.find(idx);
+    simAssert(it != memPaths_.end(), "model has no dmaSpm memory path");
+    return *it->second.dma;
 }
 
 ResponsePort& Soc::addHostPort(const std::string& name) {

@@ -25,8 +25,10 @@
 #include "lint/diagnostics.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache/cache.hh"
+#include "mem/dma.hh"
 #include "mem/dram.hh"
 #include "mem/simple_mem.hh"
+#include "mem/spm.hh"
 #include "mem/xbar.hh"
 #include "obs/session.hh"
 #include "soc/config.hh"
@@ -70,6 +72,11 @@ public:
     /// Backing store of the scratchpad attached to model number @p idx
     /// (panics if that model has none). Preload data here.
     BackingStore& scratchpadStore(unsigned idx);
+
+    /// The SPM / DMA engine of model number @p idx's dmaSpm memory path
+    /// (panics if the model was attached on the direct path).
+    Spm& spm(unsigned idx);
+    DmaEngine& dmaEngine(unsigned idx);
 
     /// CSB base address of attached model number @p idx.
     Addr deviceBaseOf(unsigned idx) const { return config_.deviceRange(idx).start; }
@@ -119,6 +126,15 @@ private:
         std::unique_ptr<SimpleMemory> mem;
     };
     std::map<unsigned, Scratchpad> scratchpads_;  ///< Model idx -> SRAM.
+    /// dmaSpm memory path (SocConfig::memPath): the model's DBBIF and the
+    /// DMA's staging port join at a small crossbar in front of the SPM,
+    /// whose fill port (and the DMA's memory port) go to the memory bus.
+    struct MemPathObjs {
+        std::unique_ptr<Xbar> bus;
+        std::unique_ptr<Spm> spm;
+        std::unique_ptr<DmaEngine> dma;
+    };
+    std::map<unsigned, MemPathObjs> memPaths_;  ///< Model idx -> DMA+SPM.
 
     unsigned runningCores_ = 0;
     unsigned attachedModels_ = 0;

@@ -1,0 +1,33 @@
+#include "soc/spm_prefetcher.hh"
+
+namespace g5r {
+
+SpmPrefetcher::SpmPrefetcher(Simulation& sim, std::string objName, DmaEngine& dma,
+                             const models::NvdlaTrace& trace)
+    : SimObject(sim, std::move(objName)), dma_(dma) {
+    for (const auto& seg : trace.segments) {
+        if (seg.bytes.empty()) continue;
+        regions_.push_back(Region{seg.addr, seg.bytes.size()});
+    }
+}
+
+void SpmPrefetcher::startup() {
+    remaining_ = regions_.size();
+    if (remaining_ == 0) {
+        doneTick_ = curTick();
+        if (doneCallback_) doneCallback_();
+        return;
+    }
+    for (const Region& region : regions_) {
+        dma_.enqueue(DmaEngine::Descriptor{
+            region.addr, region.addr, region.bytes, DmaEngine::Direction::kMemToSpm,
+            [this] {
+                if (--remaining_ == 0) {
+                    doneTick_ = curTick();
+                    if (doneCallback_) doneCallback_();
+                }
+            }});
+    }
+}
+
+}  // namespace g5r

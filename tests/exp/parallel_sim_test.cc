@@ -8,9 +8,11 @@
 // divergent interval and the owning SimObject.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "obs/diff.hh"
 #include "soc/experiments.hh"
@@ -95,6 +97,30 @@ TEST(ParallelSimRegression, TwoThreadedNvdlaRunsMatchSequential) {
     }
     expectSameRun(seqA, parA);
     expectSameRun(seqB, parB);
+}
+
+TEST(ParallelSimRegression, DmaSpmRunsMatchAcrossJobCounts) {
+    // The DMA + SPM staging path has far more internal concurrency (DMA
+    // descriptor streams, MSHR fills, banked response queues) than the
+    // direct path, so it gets its own jobs-1-vs-jobs-4 identity check.
+    auto cfgSeq = tinyConfig(MemTech::kDdr4_1ch, 16, "par_dmaspm_seq");
+    cfgSeq.memPath = MemPath::kDmaSpm;
+    const auto seq = experiments::runNvdlaDse(cfgSeq);
+    ASSERT_TRUE(seq.completed && seq.checksumsOk);
+
+    std::array<experiments::DseRunResult, 4> par;
+    std::array<experiments::DseRunConfig, 4> cfgs;
+    {
+        std::vector<std::jthread> threads;
+        for (int i = 0; i < 4; ++i) {
+            cfgs[i] = cfgSeq;
+            cfgs[i].obs.recordPath =
+                ::testing::TempDir() + "/par_dmaspm_" + std::to_string(i) + ".g5rec";
+            threads.emplace_back(
+                [&r = par[i], &c = cfgs[i]] { r = experiments::runNvdlaDse(c); });
+        }
+    }
+    for (const auto& run : par) expectSameRun(seq, run);
 }
 
 TEST(ParallelSimRegression, RepeatedConcurrentRunsStayDeterministic) {

@@ -3,6 +3,7 @@
 // that the assembled Table 1 system lints clean.
 #include <gtest/gtest.h>
 
+#include "common/test_requester.hh"
 #include "lint/soc_lint.hh"
 #include "mem/simple_mem.hh"
 #include "sim/simulation.hh"
@@ -130,6 +131,47 @@ TEST(SocLint, RoutelessCrossbarIsSuspicious) {
     Report report;
     lintXbar(xbar, report);
     EXPECT_EQ(report.byRule("G5R-SOC-NO-ROUTE").size(), 1u);
+}
+
+TEST(SocLint, DmaSpmUnboundPortsAreErrors) {
+    Simulation sim;
+    DmaEngine dma{sim, "dma", {}};
+    Spm spm{sim, "spm", [] {
+                Spm::Params p;
+                p.range = AddrRange{0, 0x10000};
+                return p;
+            }()};
+    Report report;
+    lintDmaSpmPath(dma, spm, AddrRange{0, 0x10000}, report);
+    // All four ports of the staging path are dangling.
+    EXPECT_EQ(report.byRule("G5R-SOC-DMASPM-UNBOUND").size(), 4u);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(SocLint, DmaSpmStagedRangeMustFitTheSpm) {
+    Simulation sim;
+    BackingStore store;
+    SimpleMemory::Params mp;
+    mp.range = AddrRange{0, 0x10000};
+    SimpleMemory memA{sim, "memA", mp, store};
+    SimpleMemory memB{sim, "memB", mp, store};
+    SimpleMemory memC{sim, "memC", mp, store};
+    g5r::testing::TestRequester req{sim, "req"};
+
+    Spm::Params sp;
+    sp.range = AddrRange{0, 0x1000};  // Smaller than the staged window.
+    Spm spm{sim, "spm", sp};
+    DmaEngine dma{sim, "dma", {}};
+    dma.memPort().bind(memA.port());
+    dma.spmPort().bind(memB.port());
+    spm.memSidePort().bind(memC.port());
+    req.port().bind(spm.cpuSidePort());
+
+    Report report;
+    lintDmaSpmPath(dma, spm, AddrRange{0, 0x2000}, report);
+    EXPECT_TRUE(report.byRule("G5R-SOC-DMASPM-UNBOUND").empty());
+    ASSERT_EQ(report.byRule("G5R-SOC-DMASPM-RANGE").size(), 1u);
+    EXPECT_EQ(report.byRule("G5R-SOC-DMASPM-RANGE")[0]->severity, Severity::kError);
 }
 
 TEST(SocLint, Table1SocLintsClean) {
