@@ -43,7 +43,15 @@ struct DsePoint {
     /// dmaSpm-path stats (zero on direct-path points).
     double spmReadHits = 0;
     double spmReadMisses = 0;
+    double spmMshrJoins = 0;
     std::uint64_t dmaDescriptors = 0;
+    double dmaLatencyP50 = 0;  ///< Per-descriptor latency percentiles, ticks.
+    double dmaLatencyP99 = 0;
+    double dmaLatencyMax = 0;
+
+    /// Critical-path stage blame (stage name -> blamed ticks, "unattributed"
+    /// last); populated on every point since DSE runs always trace.
+    std::vector<std::pair<std::string, double>> stageBlame;
 };
 
 using Series = std::map<unsigned, DsePoint>;  // inflight -> point.
@@ -95,6 +103,7 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
     column.ideal.memLatencyP50 = idealRun.memLatencyP50;
     column.ideal.memLatencyP99 = idealRun.memLatencyP99;
     column.ideal.profile = idealRun.profile;
+    column.ideal.stageBlame = idealRun.stageBlame;
 
     for (const MemPath memPath : {MemPath::kDirect, MemPath::kDmaSpm}) {
         cfg.memPath = memPath;
@@ -111,7 +120,12 @@ inline DseColumn runDseColumn(const models::NvdlaShape& shape,
             point.profile = run.profile;
             point.spmReadHits = run.spmReadHits;
             point.spmReadMisses = run.spmReadMisses;
+            point.spmMshrJoins = run.spmMshrJoins;
             point.dmaDescriptors = run.dmaDescriptors;
+            point.dmaLatencyP50 = run.dmaLatencyP50;
+            point.dmaLatencyP99 = run.dmaLatencyP99;
+            point.dmaLatencyMax = run.dmaLatencyMax;
+            point.stageBlame = run.stageBlame;
             (memPath == MemPath::kDirect ? column.techs : column.dmaSpm)[tech] = point;
         }
     }
@@ -316,7 +330,16 @@ inline void writeDseBenchJson(const DseResults& results, const std::string& benc
         if (p.dmaDescriptors > 0) {
             entry["spmReadHits"] = p.spmReadHits;
             entry["spmReadMisses"] = p.spmReadMisses;
+            entry["spmMshrJoins"] = p.spmMshrJoins;
             entry["dmaDescriptors"] = p.dmaDescriptors;
+            entry["dmaLatencyP50"] = p.dmaLatencyP50;
+            entry["dmaLatencyP99"] = p.dmaLatencyP99;
+            entry["dmaLatencyMax"] = p.dmaLatencyMax;
+        }
+        if (!p.stageBlame.empty()) {
+            exp::Json blame = exp::Json::object();
+            for (const auto& [stage, ticks] : p.stageBlame) blame[stage] = ticks;
+            entry["stageBlame"] = std::move(blame);
         }
         doc["points"].push(std::move(entry));
     };

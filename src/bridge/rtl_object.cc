@@ -179,6 +179,7 @@ void RtlObject::issueModelRequests(const G5rRtlOutput& out) {
             statBytesRead_ += size;
         }
         pkt->setIssueTick(curTick());
+        pkt->setReqId(curReq_);
 
         // Route port-1 traffic to port 0 when SRAMIF is not separately bound
         // (the paper's configuration sends both interfaces to main memory).
@@ -246,6 +247,7 @@ void RtlObject::tick() {
         devQueue_.pop_front();
         if (dev.pkt->isWrite()) {
             ++statDevWrites_;
+            if (dev.pkt->reqId() != 0) curReq_ = dev.pkt->reqId();
             if (dev.pkt->needsResponse()) {
                 dev.pkt->makeResponse();
                 respQueues_[dev.port].push_back(std::move(dev.pkt));

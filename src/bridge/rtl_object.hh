@@ -175,6 +175,12 @@ private:
     bool done_ = false;
     std::function<void(bool)> irqCallback_;
 
+    /// Causal context: the request of the last accepted device write (the
+    /// host's configuration stream carries its job's ReqId). Model-initiated
+    /// memory traffic is tagged with it — NVDLA reads its trace data on
+    /// behalf of the job the host last configured.
+    ReqId curReq_ = 0;
+
     // Quiescence gating. gatedAtEdge_ remembers the edge the descheduled
     // tick would have run at, so a wake in the same cycle re-runs it there
     // (never earlier, never twice) and later wakes can count skipped edges.

@@ -21,6 +21,15 @@ DmaEngine::DmaEngine(Simulation& sim, std::string objName, const Params& params)
 }
 
 void DmaEngine::enqueue(Descriptor desc) {
+    // Every descriptor is a traceable unit of work. The ID is allocated
+    // unconditionally (the counter must advance identically traced or not);
+    // the begin report costs one branch when no observer is attached.
+    desc.id = sim_.allocRequestId();
+    if (SimObserver* obs = threadObserver()) {
+        obs->requestBegin(desc.id, desc.parent,
+                          desc.dir == Direction::kMemToSpm ? "dmaPrefetch" : "dmaDrain",
+                          curTick());
+    }
     queue_.push_back(std::move(desc));
     if (!processEvent_.scheduled()) eventQueue().schedule(processEvent_, clockEdge());
 }
@@ -51,7 +60,9 @@ void DmaEngine::issueReads() {
         const std::uint64_t chunk =
             std::min({active_->bytes - cursor_, line - srcAddr % line,
                       line - dstAddr % line});
-        src.queue.push_back(makeReadPacket(srcAddr, static_cast<unsigned>(chunk)));
+        PacketPtr read = makeReadPacket(srcAddr, static_cast<unsigned>(chunk));
+        read->setReqId(active_->id);
+        src.queue.push_back(std::move(read));
         cursor_ += chunk;
         ++outstandingReads_;
         inflight_.sample(static_cast<double>(outstandingReads_ + outstandingWrites_));
@@ -87,6 +98,7 @@ bool DmaEngine::handleResp(PacketPtr& pkt) {
         const Addr dstAddr = active_->dst + (pkt->addr() - active_->src);
         auto write = makeWritePacket(dstAddr, pkt->size());
         write->setData(pkt->constData());
+        write->setReqId(active_->id);
         ++outstandingWrites_;
         laneOf(!srcIsMem()).queue.push_back(std::move(write));
         pkt.reset();
@@ -113,6 +125,14 @@ void DmaEngine::completeActive() {
     ++descriptors_;
     bytesCopied_ += static_cast<double>(active_->bytes);
     descriptorLatency_.sample(static_cast<double>(curTick() - activeStart_));
+    if (SimObserver* obs = threadObserver()) {
+        // A drain descriptor's active window is the job's "drain" stage;
+        // a prefetch window is staging work.
+        const ReqStage stage = active_->dir == Direction::kSpmToMem ? ReqStage::kDrain
+                                                                    : ReqStage::kDmaStage;
+        obs->requestSpan(active_->id, stage, activeStart_, curTick());
+        obs->requestEnd(active_->id, curTick());
+    }
     // Move the callback out first: it may enqueue further descriptors (e.g.
     // a drain chained onto a prefetch) or inspect idle().
     const std::function<void()> done = std::move(active_->onComplete);

@@ -36,6 +36,10 @@ public:
         Direction dir = Direction::kMemToSpm;
         /// Invoked (once) when the last write of this descriptor is acked.
         std::function<void()> onComplete;
+        /// Causal-tracing identity: the parent request this copy serves
+        /// (0 = none), and the descriptor's own ID, allocated by enqueue().
+        ReqId parent = 0;
+        ReqId id = 0;
     };
 
     struct Params {

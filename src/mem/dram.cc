@@ -46,6 +46,7 @@ void DramChannel::enqueue(PacketPtr pkt) {
     decode(pkt->addr(), bank, row);
 
     if (pkt->isWrite()) {
+        const ReqId reqId = pkt->reqId();
         // Commit data immediately; the queue entry models timing only. Reads
         // enqueued later observe the committed data (conservative forwarding).
         parent_.store().access(*pkt);
@@ -53,9 +54,19 @@ void DramChannel::enqueue(PacketPtr pkt) {
             pkt->makeResponse();
             parent_.respond(std::move(pkt), curTick() + params_.frontendLatency);
         }
-        writeQueue_.push_back(QueuedReq{nullptr, row, bank, curTick()});
+        // The write is acked up front, so its observable dramService window
+        // is just the frontend pipeline; the queued burst happens later,
+        // off the request's critical path.
+        if (reqId != 0) {
+            if (SimObserver* obs = threadObserver()) {
+                obs->requestSpan(reqId, ReqStage::kDramService, curTick(),
+                                 curTick() + params_.frontendLatency);
+            }
+        }
+        writeQueue_.push_back(QueuedReq{nullptr, row, bank, curTick(), reqId});
     } else {
-        readQueue_.push_back(QueuedReq{std::move(pkt), row, bank, curTick()});
+        const ReqId reqId = pkt->reqId();
+        readQueue_.push_back(QueuedReq{std::move(pkt), row, bank, curTick(), reqId});
     }
 
     if (!nextReqEvent_.scheduled()) {
@@ -158,6 +169,14 @@ void DramChannel::processNextRequest() {
     } else {
         ++readBursts_;
         readQueueLatency_.sample(static_cast<double>(done - req.enqueueTick));
+        // The read's dramService window runs from arrival in the channel
+        // queue to the tick its response leaves the controller pipeline.
+        if (req.reqId != 0) {
+            if (SimObserver* obs = threadObserver()) {
+                obs->requestSpan(req.reqId, ReqStage::kDramService, req.enqueueTick,
+                                 done + params_.frontendLatency + params_.backendLatency);
+            }
+        }
         parent_.store().access(*req.pkt);
         req.pkt->makeResponse();
         parent_.respond(std::move(req.pkt),

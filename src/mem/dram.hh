@@ -82,6 +82,7 @@ private:
         Addr row;
         unsigned bank;
         Tick enqueueTick;
+        ReqId reqId = 0;  ///< Causal tag; writes keep it after pkt is answered.
     };
 
     /// Decompose a physical address into (bank, row) for this channel.

@@ -61,6 +61,14 @@ public:
     RequestorId requestor() const { return requestor_; }
     void setRequestor(RequestorId r) { requestor_ = r; }
 
+    /// Causal request tag (sim/observer.hh): the logical unit of work this
+    /// packet belongs to, or 0 when untagged. Set by the component that
+    /// builds the packet; carried, never interpreted, by the memory system.
+    /// Deliberately excluded from recorder digests so .g5rec identity is
+    /// unaffected by tracing.
+    ReqId reqId() const { return reqId_; }
+    void setReqId(ReqId id) { reqId_ = id; }
+
     // --- classification ----------------------------------------------------
     bool isRead() const { return cmd_ == MemCmd::kReadReq || cmd_ == MemCmd::kReadResp ||
                                  cmd_ == MemCmd::kPrefetchReq; }
@@ -150,6 +158,7 @@ private:
     unsigned size_;
     std::uint64_t id_;
     RequestorId requestor_ = kInvalidRequestor;
+    ReqId reqId_ = 0;
     bool flowTracked_ = false;
     Tick issueTick_ = 0;
     std::vector<std::uint8_t> data_;

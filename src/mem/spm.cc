@@ -23,6 +23,7 @@ Spm::Spm(Simulation& sim, std::string objName, const Params& params)
       readMisses_(stats_.scalar("readMisses", "reads that waited on line fills")),
       writes_(stats_.scalar("writes", "write accesses (allocate on write)")),
       fills_(stats_.scalar("fills", "line fills fetched from main memory")),
+      mshrJoins_(stats_.scalar("mshrJoins", "read misses coalesced onto an in-flight fill")),
       bankConflicts_(stats_.scalar("bankConflicts", "accesses delayed by a busy bank")),
       bytesRead_(stats_.scalar("bytesRead", "bytes returned by reads")),
       bytesWritten_(stats_.scalar("bytesWritten", "bytes consumed by writes")) {
@@ -94,10 +95,12 @@ bool Spm::handleReq(PacketPtr& pkt) {
     const std::uint64_t key = nextReadKey_++;
     PendingRead& pending = pendingReads_[key];
     pending.pkt = std::move(pkt);
+    pending.arrival = curTick();
     for (Addr line = firstLine; line <= lastLine; line += kLineBytes) {
         if (linePresent(line)) continue;
         auto [it, inserted] = mshrs_.try_emplace(line);
         if (inserted) fillQueue_.push_back(line);
+        else ++mshrJoins_;  // Coalesced: this read joins the line's in-flight fill.
         it->second.push_back(key);
         ++pending.remainingFills;
     }
@@ -108,6 +111,16 @@ bool Spm::handleReq(PacketPtr& pkt) {
 void Spm::sendFills() {
     while (!fillBlocked_ && fillsInflight_ < params_.fillInflight && !fillQueue_.empty()) {
         PacketPtr fill = makeReadPacket(fillQueue_.front(), kLineBytes);
+        // MSHR join semantics for causal tracing: the fill runs on behalf
+        // of its *first* waiter; later joiners still get their own spmFill
+        // spans from their own pending reads.
+        const auto mshrIt = mshrs_.find(fillQueue_.front());
+        if (mshrIt != mshrs_.end() && !mshrIt->second.empty()) {
+            const auto readIt = pendingReads_.find(mshrIt->second.front());
+            if (readIt != pendingReads_.end() && readIt->second.pkt != nullptr) {
+                fill->setReqId(readIt->second.pkt->reqId());
+            }
+        }
         if (!memPort_.sendTimingReq(fill)) {
             fillBlocked_ = true;
             return;
@@ -142,8 +155,14 @@ bool Spm::handleFillResp(PacketPtr& pkt) {
             simAssert(pending.remainingFills > 0, "SPM fill count underflow");
             if (--pending.remainingFills == 0) {
                 PacketPtr read = std::move(pending.pkt);
+                const Tick arrival = pending.arrival;
                 pendingReads_.erase(readIt);
                 const Tick ready = bankedReadyTick(read->addr());
+                if (read->reqId() != 0) {
+                    if (SimObserver* obs = threadObserver()) {
+                        obs->requestSpan(read->reqId(), ReqStage::kSpmFill, arrival, ready);
+                    }
+                }
                 store_.access(*read);
                 read->makeResponse();
                 respond(std::move(read), ready);

@@ -128,6 +128,7 @@ private:
     struct PendingRead {
         PacketPtr pkt;
         unsigned remainingFills = 0;
+        Tick arrival = 0;  ///< Miss tick; start of the read's spmFill span.
     };
     std::map<std::uint64_t, PendingRead> pendingReads_;
     std::uint64_t nextReadKey_ = 0;
@@ -146,6 +147,7 @@ private:
     stats::Scalar& readMisses_;
     stats::Scalar& writes_;
     stats::Scalar& fills_;
+    stats::Scalar& mshrJoins_;
     stats::Scalar& bankConflicts_;
     stats::Scalar& bytesRead_;
     stats::Scalar& bytesWritten_;

@@ -134,11 +134,20 @@ void Xbar::deliverReq(unsigned dstDown) {
 
     const bool wantsRoute = layer.pkt->needsResponse();
     const std::uint64_t id = layer.pkt->id();
+    const ReqId reqId = layer.pkt->reqId();
+    const Tick acceptTick = layer.acceptTick;
     if (!downPorts_[dstDown]->sendTimingReq(layer.pkt)) {
         layer.waitingPeer = true;  // Peer will recvReqRetry -> deliverReq again.
         return;
     }
     if (wantsRoute) respRoute_[id] = RouteInfo{layer.srcIdx, layer.acceptTick};
+    // Ticks between layer acceptance and the downstream peer taking the
+    // packet are crossbar queueing, blamed on the packet's request.
+    if (reqId != 0 && curTick() > acceptTick) {
+        if (SimObserver* obs = threadObserver()) {
+            obs->requestSpan(reqId, ReqStage::kXbarQueue, acceptTick, curTick());
+        }
+    }
 
     if (layer.freeTick <= curTick()) {
         finishReqLayer(dstDown);
@@ -185,9 +194,16 @@ void Xbar::deliverResp(unsigned dstUp) {
     Layer& layer = respLayers_[dstUp];
     if (!layer.busy || layer.pkt == nullptr) return;
 
+    const ReqId reqId = layer.pkt->reqId();
+    const Tick acceptTick = layer.acceptTick;
     if (!upPorts_[dstUp]->sendTimingResp(layer.pkt)) {
         layer.waitingPeer = true;  // Peer will recvRespRetry -> deliverResp again.
         return;
+    }
+    if (reqId != 0 && curTick() > acceptTick) {
+        if (SimObserver* obs = threadObserver()) {
+            obs->requestSpan(reqId, ReqStage::kXbarQueue, acceptTick, curTick());
+        }
     }
 
     if (layer.freeTick <= curTick()) {

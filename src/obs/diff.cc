@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exp/json.hh"
+
 namespace g5r::obs {
 
 namespace {
@@ -246,6 +248,34 @@ std::string formatDivergenceReport(const DivergenceReport& rep, const std::strin
     os << "  event neighborhood B (" << nameB << "):\n";
     for (const std::string& line : rep.neighborhoodB) os << "    " << line << '\n';
     return os.str();
+}
+
+std::string divergenceReportJson(const DivergenceReport& rep, const std::string& nameA,
+                                 const std::string& nameB) {
+    exp::Json doc = exp::Json::object();
+    doc["a"] = nameA;
+    doc["b"] = nameB;
+    doc["comparable"] = rep.comparable;
+    doc["diverged"] = rep.diverged;
+    if (!rep.comparable) {
+        doc["error"] = rep.error;
+        return doc.dump();
+    }
+    if (rep.diverged) {
+        doc["lane"] = rep.lane;
+        doc["intervalIndex"] = rep.intervalIndex;
+        doc["startTick"] = static_cast<std::uint64_t>(rep.startTick);
+        doc["endTick"] = static_cast<std::uint64_t>(rep.endTick);
+        doc["objectName"] = rep.objectName;
+        doc["detail"] = rep.detail;
+        exp::Json na = exp::Json::array();
+        for (const std::string& line : rep.neighborhoodA) na.push(line);
+        doc["neighborhoodA"] = std::move(na);
+        exp::Json nb = exp::Json::array();
+        for (const std::string& line : rep.neighborhoodB) nb.push(line);
+        doc["neighborhoodB"] = std::move(nb);
+    }
+    return doc.dump();
 }
 
 DivergenceReport diffRecordingFiles(const std::string& pathA, const std::string& pathB,

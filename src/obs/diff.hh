@@ -51,6 +51,11 @@ DivergenceReport findFirstDivergence(const Recording& a, const Recording& b,
 std::string formatDivergenceReport(const DivergenceReport& rep, const std::string& nameA,
                                    const std::string& nameB);
 
+/// Machine-readable form of the same report (g5r-diff --json): one JSON
+/// document with every DivergenceReport field, plus the side labels.
+std::string divergenceReportJson(const DivergenceReport& rep, const std::string& nameA,
+                                 const std::string& nameB);
+
 /// Convenience: load both paths, diff, and format. Returns the report; any
 /// load error comes back as comparable == false.
 DivergenceReport diffRecordingFiles(const std::string& pathA, const std::string& pathB,

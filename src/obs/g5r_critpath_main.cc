@@ -1,0 +1,5 @@
+// g5r-critpath: critical-path stage blame over .reqtrace.jsonl sidecars.
+// All logic lives in obs/critpath_cli.{hh,cc} so tests can call it directly.
+#include "obs/critpath_cli.hh"
+
+int main(int argc, char** argv) { return g5r::obs::critpathCliMain(argc, argv); }

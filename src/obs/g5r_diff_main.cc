@@ -1,11 +1,14 @@
 // g5r-diff: first-divergence finder over two .g5rec flight recordings.
 //
-//   g5r-diff [--packets-only] <a.g5rec> <b.g5rec>
+//   g5r-diff [--packets-only] [--json] <a.g5rec> <b.g5rec>
 //
 // Exit status: 0 = recordings identical, 1 = divergence found (report on
 // stdout), 2 = usage / unreadable or incomparable recordings (reason on
 // stderr). --packets-only compares the packet lane only — the right mode
 // for gated-vs-ungated pairs, whose dispatch streams differ by design.
+// --json emits the report as one JSON document on stdout (incomparable
+// inputs included, so scripts never have to parse stderr); exit codes are
+// unchanged.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -15,10 +18,11 @@
 namespace {
 
 int usage() {
-    std::cerr << "usage: g5r-diff [--packets-only] <a.g5rec> <b.g5rec>\n"
+    std::cerr << "usage: g5r-diff [--packets-only] [--json] <a.g5rec> <b.g5rec>\n"
                  "  compares two flight recordings (GEM5RTL_RECORD sidecars) and\n"
                  "  reports the first divergent interval and owning SimObject.\n"
-                 "  --packets-only  ignore the dispatch lane (gated-vs-ungated pairs)\n";
+                 "  --packets-only  ignore the dispatch lane (gated-vs-ungated pairs)\n"
+                 "  --json          one JSON report document on stdout\n";
     return 2;
 }
 
@@ -27,10 +31,13 @@ int usage() {
 int main(int argc, char** argv) {
     using g5r::obs::DiffLane;
     DiffLane lane = DiffLane::kBoth;
+    bool json = false;
     std::string pathA, pathB;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--packets-only") == 0) {
             lane = DiffLane::kPacketsOnly;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
         } else if (argv[i][0] == '-') {
             return usage();
         } else if (pathA.empty()) {
@@ -44,6 +51,10 @@ int main(int argc, char** argv) {
     if (pathB.empty()) return usage();
 
     const g5r::obs::DivergenceReport rep = g5r::obs::diffRecordingFiles(pathA, pathB, lane);
+    if (json) {
+        std::cout << g5r::obs::divergenceReportJson(rep, pathA, pathB) << '\n';
+        return !rep.comparable ? 2 : (rep.diverged ? 1 : 0);
+    }
     if (!rep.comparable) {
         std::cerr << "g5r-diff: " << rep.error << '\n';
         return 2;

@@ -55,6 +55,15 @@ ObsOptions ObsOptions::fromEnv(ObsOptions base) {
         const long long v = std::strtoll(env, nullptr, 10);
         if (v >= 1) base.metricsIntervalTicks = static_cast<Tick>(v);
     }
+    if (const char* env = std::getenv("GEM5RTL_REQTRACE")) {
+        const std::string_view v{env};
+        if (v.empty() || v == "0") {
+            base.reqtraceEnabled = false;
+        } else {
+            base.reqtraceEnabled = true;
+            if (v != "1") base.reqtraceDir = std::string{v};
+        }
+    }
     return base;
 }
 

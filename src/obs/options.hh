@@ -19,6 +19,9 @@
 //   GEM5RTL_METRICS=<dir>    write it to <dir> (created by the caller)
 //   GEM5RTL_METRICS=0        force the metrics timeline off
 //   GEM5RTL_METRICS_INTERVAL=T metrics sample interval in ticks
+//   GEM5RTL_REQTRACE=1       write <run>.reqtrace.jsonl request trace here
+//   GEM5RTL_REQTRACE=<dir>   write it to <dir> (created by the caller)
+//   GEM5RTL_REQTRACE=0       force request tracing off
 #pragma once
 
 #include <string>
@@ -76,8 +79,22 @@ struct ObsOptions {
     /// Simulated-time interval between metrics samples.
     Tick metricsIntervalTicks = 1'000'000;  // 1 us of simulated time.
 
+    /// Collect request-level causal spans (.reqtrace.jsonl sidecar) and
+    /// critical-path stage blame; see obs/reqtrace.hh.
+    bool reqtraceEnabled = false;
+
+    /// Directory the request trace is written into ("." = current
+    /// directory).
+    std::string reqtraceDir = ".";
+
+    /// Exact request-trace path; overrides reqtraceDir when non-empty. An
+    /// explicit "-" keeps the trace in memory only (no sidecar) — the DSE
+    /// harness uses this to compute stage blame without touching disk.
+    std::string reqtracePath;
+
     bool anyEnabled() const {
-        return traceEnabled || profileEnabled || recordEnabled || metricsEnabled;
+        return traceEnabled || profileEnabled || recordEnabled || metricsEnabled ||
+               reqtraceEnabled;
     }
 
     /// Overlay the GEM5RTL_* environment variables (see header comment)

@@ -1,5 +1,6 @@
 #include "obs/session.hh"
 
+#include <algorithm>
 #include <atomic>
 
 #include "sim/sim_object.hh"
@@ -96,8 +97,9 @@ ObsSession::ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view
       stride_(opts.profileStride ? opts.profileStride : 1),
       t0_(Clock::now()) {
     if (opts.profileEnabled) profiler_ = std::make_unique<HostProfiler>(stride_);
+    const bool reqtraceToFile = opts.reqtraceEnabled && opts.reqtracePath != "-";
     const std::string base =
-        (opts.traceEnabled || opts.recordEnabled || opts.metricsEnabled)
+        (opts.traceEnabled || opts.recordEnabled || opts.metricsEnabled || reqtraceToFile)
             ? runFileBase(runName)
             : std::string{};
     if (opts.traceEnabled) {
@@ -118,6 +120,20 @@ ObsSession::ObsSession(Simulation& sim, const ObsOptions& opts, std::string_view
                                                     std::string{runName},
                                                     opts.metricsIntervalTicks);
     }
+    if (opts.reqtraceEnabled) {
+        // "-" selects in-memory collection (computeBlame without a sidecar).
+        std::string path;
+        if (opts.reqtracePath == "-") {
+            path = "";
+        } else if (!opts.reqtracePath.empty()) {
+            path = opts.reqtracePath;
+        } else {
+            path = joinDir(opts.reqtraceDir, base + ".reqtrace.jsonl");
+        }
+        reqtrace_ = std::make_unique<ReqTraceSession>(std::move(path), std::string{runName});
+    }
+    reqtraceOnly_ = reqtrace_ != nullptr && trace_ == nullptr && profiler_ == nullptr &&
+                    recorder_ == nullptr && metrics_ == nullptr;
 
     // Slot 0 catches events whose name matches no registered object;
     // object slots are handed out lazily by slotFor().
@@ -142,9 +158,65 @@ void ObsSession::finish() {
     if (finished_) return;
     finished_ = true;
     if (profiler_) report_ = std::make_shared<const ProfileReport>(profiler_->report());
+    if (reqtrace_) {
+        reqtrace_->finish(sim_.curTick());
+        if (trace_) emitRequestSpans();
+    }
     if (trace_) trace_->finish();
     if (recorder_) recorder_->finish(sim_.curTick());
     if (metrics_) metrics_->finish(sim_.curTick());
+}
+
+void ObsSession::emitRequestSpans() {
+    // Requests live on their own track family, in *simulated* microseconds
+    // (ticks are picoseconds), one track per stage plus a summary track.
+    // Flow arrows link each root request to its descendants; their IDs are
+    // offset into a high range so they never collide with packet flows.
+    constexpr int kReqTidBase = 900;
+    constexpr int kSummaryTid = kReqTidBase + static_cast<int>(kNumReqStages);
+    constexpr std::uint64_t kFlowBase = std::uint64_t{1} << 62;
+    constexpr double kTicksPerUs = 1e6;
+
+    for (unsigned s = 0; s < kNumReqStages; ++s) {
+        trace_->threadName(kReqTidBase + static_cast<int>(s),
+                           std::string{"req:"} + reqStageName(static_cast<ReqStage>(s)));
+    }
+    trace_->threadName(kSummaryTid, "req:requests");
+
+    const std::vector<ReqRecord>& records = reqtrace_->data();
+    // id -> root id, walking parent chains (records are id-sorted, parents
+    // precede children, so one pass suffices).
+    std::vector<ReqId> rootOf;
+    for (const ReqRecord& rec : records) {
+        if (rec.id >= rootOf.size()) rootOf.resize(rec.id + 1, 0);
+        rootOf[rec.id] = (rec.parent != 0 && rec.parent < rootOf.size() &&
+                          rootOf[rec.parent] != 0)
+                             ? rootOf[rec.parent]
+                             : rec.id;
+    }
+    for (const ReqRecord& rec : records) {
+        Tick end = rec.ended ? rec.endTick : rec.beginTick;
+        for (const ReqSpan& span : rec.spans) end = std::max(end, span.end);
+        const double beginUs = static_cast<double>(rec.beginTick) / kTicksPerUs;
+        trace_->completeEvent(kSummaryTid, rec.kind + "#" + std::to_string(rec.id),
+                              "request", beginUs,
+                              static_cast<double>(end - rec.beginTick) / kTicksPerUs,
+                              rec.beginTick);
+        const std::uint64_t flow = kFlowBase | rootOf[rec.id];
+        if (rec.parent == 0) {
+            trace_->flowBegin(flow, kSummaryTid, beginUs);
+            trace_->flowEnd(flow, kSummaryTid, static_cast<double>(end) / kTicksPerUs);
+        } else {
+            trace_->flowStep(flow, kSummaryTid, beginUs);
+        }
+        for (const ReqSpan& span : rec.spans) {
+            trace_->completeEvent(kReqTidBase + static_cast<int>(span.stage),
+                                  reqStageName(span.stage), "reqstage",
+                                  static_cast<double>(span.begin) / kTicksPerUs,
+                                  static_cast<double>(span.end - span.begin) / kTicksPerUs,
+                                  span.begin);
+        }
+    }
 }
 
 int ObsSession::slotFor(const SimObject& obj) {
@@ -195,6 +267,10 @@ void ObsSession::runEnd() {
 
 void ObsSession::dispatchBegin(const Event& ev, Tick when) {
     curTick_ = when;
+    // Request tracing alone needs none of the dispatch machinery: spans
+    // arrive through the component-driven request hooks with their own
+    // ticks. Skipping resolve() here is what makes always-on tracing cheap.
+    if (reqtraceOnly_) return;
     const Owner& owner = resolve(ev);
     curSlot_ = owner.slot;
     curLabel_ = &owner.label;
@@ -253,6 +329,18 @@ void ObsSession::packetResponded(std::uint64_t id) {
 void ObsSession::packetCompleted(std::uint64_t id) {
     if (trace_) trace_->flowEnd(id, curSlot_, relUs(Clock::now()));
     if (recorder_) recorder_->recordPacket(curTick_, curSlot_, 'C', id, 0, 0, false);
+}
+
+void ObsSession::requestBegin(ReqId id, ReqId parent, const char* kind, Tick when) {
+    if (reqtrace_) reqtrace_->onBegin(id, parent, kind, when);
+}
+
+void ObsSession::requestEnd(ReqId id, Tick when) {
+    if (reqtrace_) reqtrace_->onEnd(id, when);
+}
+
+void ObsSession::requestSpan(ReqId id, ReqStage stage, Tick begin, Tick end) {
+    if (reqtrace_) reqtrace_->onSpan(id, stage, begin, end);
 }
 
 }  // namespace g5r::obs

@@ -289,6 +289,24 @@ std::string renderBenchPercentiles(const exp::Json& doc) {
                               : 0.0);
             os << buf;
         }
+        // dmaSpm-path extras: per-descriptor DMA latency percentiles and the
+        // SPM hit/miss/MSHR counters, when the point carries them.
+        if (point.contains("dmaLatencyP50")) {
+            const auto get = [&point](const char* key) {
+                return point.contains(key) ? point.at(key).asDouble() : 0.0;
+            };
+            std::snprintf(buf, sizeof buf,
+                          "  %-42s %10.0f %10s %10s %10.0f %10.0f %10.0f\n",
+                          "dma.descriptorLatency", get("dmaDescriptors"), "-", "-",
+                          get("dmaLatencyP50"), get("dmaLatencyP99"),
+                          get("dmaLatencyMax"));
+            os << buf;
+            std::snprintf(buf, sizeof buf,
+                          "  %-42s hits %-10.0f misses %-10.0f mshrJoins %-10.0f\n",
+                          "spm.reads", get("spmReadHits"), get("spmReadMisses"),
+                          get("spmMshrJoins"));
+            os << buf;
+        }
     }
     return os.str();
 }

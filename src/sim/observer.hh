@@ -26,6 +26,31 @@ namespace g5r {
 
 class Event;
 
+/// Identifies one logical unit of work flowing through the SoC (an NVDLA
+/// job, a DMA descriptor, a PMU script, ...). 0 means "untagged"; real IDs
+/// come from Simulation::allocRequestId() and are strictly positive, so a
+/// run's ID stream is per-Simulation and deterministic.
+using ReqId = std::uint64_t;
+
+/// Stage taxonomy for request span attribution. Each span a component
+/// reports is labelled with the stage of the pipeline the request spent
+/// those ticks in; the critical-path analysis (src/obs/reqtrace.hh) blames
+/// overlapping spans by a fixed precedence. Keep the order stable: the
+/// numeric values are serialized into .reqtrace.jsonl sidecars.
+enum class ReqStage : std::uint8_t {
+    kHostLoad,     ///< Host-side configuration (CSB register writes, PMU readout).
+    kDmaStage,     ///< DMA engine staging data into the scratchpad.
+    kSpmFill,      ///< SPM miss fill in flight (MSHR occupancy).
+    kXbarQueue,    ///< Queued in a crossbar layer waiting for the peer.
+    kDramService,  ///< In a DRAM channel queue / being serviced.
+    kRtlCompute,   ///< RTL model computing (host poll window).
+    kDrain,        ///< Result draining back to main memory.
+};
+
+inline constexpr unsigned kNumReqStages = 7;
+
+const char* reqStageName(ReqStage stage);
+
 class SimObserver {
 public:
     virtual ~SimObserver() = default;
@@ -54,6 +79,20 @@ public:
     virtual void packetForwarded(std::uint64_t id) { (void)id; }
     virtual void packetResponded(std::uint64_t id) { (void)id; }
     virtual void packetCompleted(std::uint64_t id) { (void)id; }
+
+    /// Request lifecycle, reported by the components that own a unit of
+    /// work (soc/NvdlaHost, mem/DmaEngine, soc/PmuObserver, ...). A request
+    /// begins once, may reference a parent (0 = root), accumulates stage
+    /// spans in simulated ticks, and ends once. Components call these
+    /// unconditionally when tracing is on; the default implementations cost
+    /// nothing so observers that do not care need not override.
+    virtual void requestBegin(ReqId id, ReqId parent, const char* kind, Tick when) {
+        (void)id; (void)parent; (void)kind; (void)when;
+    }
+    virtual void requestEnd(ReqId id, Tick when) { (void)id; (void)when; }
+    virtual void requestSpan(ReqId id, ReqStage stage, Tick begin, Tick end) {
+        (void)id; (void)stage; (void)begin; (void)end;
+    }
 };
 
 namespace detail {

@@ -75,6 +75,12 @@ public:
     /// packet-ID stream is per-Simulation and deterministic.
     std::uint64_t& packetIdCounter() { return packetIdCounter_; }
 
+    /// Allocate a request ID for causal tracing (sim/observer.hh). Always
+    /// counts — whether or not an observer is attached — so the ID stream a
+    /// given configuration produces is identical traced or untraced. IDs
+    /// start at 1; 0 means "untagged".
+    std::uint64_t allocRequestId() { return ++requestIdCounter_; }
+
 private:
     RunResult runLoop(Tick maxTick);
 
@@ -82,6 +88,7 @@ private:
     SimObserver* observer_ = nullptr;
     std::vector<SimObject*> objects_;
     std::uint64_t packetIdCounter_ = 0;
+    std::uint64_t requestIdCounter_ = 0;
     bool initialized_ = false;
     bool exitRequested_ = false;
     std::string exitMessage_;

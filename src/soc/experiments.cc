@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/reqtrace.hh"
 #include "soc/model_loader.hh"
 #include "soc/nvdla_host.hh"
 #include "soc/soc.hh"
@@ -128,7 +129,16 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
     SocConfig socCfg = table1Config(config.memTech);
     socCfg.numCores = config.numCores;
     socCfg.memPath = config.memPath;
+    if (config.dmaMaxInflight > 0) socCfg.dmaMaxInflight = config.dmaMaxInflight;
     socCfg.obs = config.obs;
+    // Stage blame is part of every DSE result, so request tracing is always
+    // on — in-memory ("-": no sidecar) unless the caller already configured
+    // it or the GEM5RTL_REQTRACE overlay (applied inside Soc) speaks for
+    // itself. The reqtrace-only fast path keeps this inside the <2% budget.
+    if (!socCfg.obs.reqtraceEnabled && std::getenv("GEM5RTL_REQTRACE") == nullptr) {
+        socCfg.obs.reqtraceEnabled = true;
+        socCfg.obs.reqtracePath = "-";
+    }
     Soc soc{sim, socCfg};
 
     const bool dmaSpm = config.memPath == MemPath::kDmaSpm;
@@ -187,16 +197,20 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
             inst.prefetcher = std::make_unique<SpmPrefetcher>(
                 sim, "system.prefetch" + std::to_string(i), soc.dmaEngine(i),
                 inst.trace);
+            inst.prefetcher->setParentRequest(inst.host->requestId());
             inst.prefetcher->setDoneCallback([&inst] { inst.host->release(); });
             inst.host->setDoneCallback([&inst, &soc, &sim, &remaining, i,
                                         &shape = config.shape] {
-                soc.dmaEngine(i).enqueue(DmaEngine::Descriptor{
+                DmaEngine::Descriptor drain{
                     inst.placement.ofmapBase, inst.placement.ofmapBase,
                     shape.ofmapBytes(), DmaEngine::Direction::kSpmToMem,
                     [&inst, &sim, &remaining] {
                         inst.doneTick = sim.curTick();
                         if (--remaining == 0) sim.exitSimLoop("all accelerators done");
-                    }});
+                    }};
+                // The ofmap drain is part of the job's end-to-end window.
+                drain.parent = inst.host->requestId();
+                soc.dmaEngine(i).enqueue(std::move(drain));
             });
         } else {
             inst.host->setDoneCallback([&inst, &sim, &remaining] {
@@ -228,7 +242,16 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
             if (const auto* s = spmStats.find("readMisses")) {
                 result.spmReadMisses = s->value();
             }
+            if (const auto* s = spmStats.find("mshrJoins")) {
+                result.spmMshrJoins = s->value();
+            }
             result.dmaDescriptors = soc.dmaEngine(0).descriptorsCompleted();
+            if (const auto* h = dynamic_cast<const stats::Histogram*>(
+                    soc.dmaEngine(0).statsGroup().find("descriptorLatency"))) {
+                result.dmaLatencyP50 = h->quantile(0.50);
+                result.dmaLatencyP99 = h->quantile(0.99);
+                result.dmaLatencyMax = h->maxValue();
+            }
         }
     }
     result.memLatency = obs::portLatencies(soc.memBus().statsGroup());
@@ -249,6 +272,17 @@ DseRunResult runNvdlaDse(const DseRunConfig& config) {
         }
         if (obsSession->metrics() != nullptr && obsSession->metrics()->ok()) {
             result.metricsPath = obsSession->metrics()->path();
+        }
+        if (obs::ReqTraceSession* rt = obsSession->reqtrace()) {
+            if (rt->ok() && !rt->path().empty()) result.reqtracePath = rt->path();
+            const obs::BlameSummary blame = obs::computeBlame(rt->data());
+            for (unsigned s = 0; s < kNumReqStages; ++s) {
+                result.stageBlame.emplace_back(
+                    reqStageName(static_cast<ReqStage>(s)),
+                    static_cast<double>(blame.stageTicks[s]));
+            }
+            result.stageBlame.emplace_back("unattributed",
+                                           static_cast<double>(blame.unattributed));
         }
     }
     return result;

@@ -81,6 +81,8 @@ struct DseRunConfig {
     bool sramScratchpad = false;            ///< Weights via a SRAMIF scratchpad
                                             ///< (the paper's proposed extension).
     MemPath memPath = MemPath::kDirect;     ///< Direct DBBIF vs DMA+SPM staging.
+    unsigned dmaMaxInflight = 0;            ///< dmaSpm DMA line-request window
+                                            ///< override (0 = SocConfig default).
     Tick maxTicks = 2'000'000'000'000ULL;   ///< 2 s simulated safety net.
     bool gateIdleTicks = true;              ///< Quiescence-gate accelerator ticks.
     obs::ObsOptions obs;                    ///< Tracing/profiling for this run.
@@ -97,7 +99,22 @@ struct DseRunResult {
     /// dmaSpm-path stats (accelerator 0; zero on the direct path).
     double spmReadHits = 0;
     double spmReadMisses = 0;
+    double spmMshrJoins = 0;     ///< Misses coalesced onto in-flight fills.
     std::uint64_t dmaDescriptors = 0;
+
+    /// Per-descriptor DMA latency percentiles (accelerator 0's engine, in
+    /// ticks; zero on the direct path).
+    double dmaLatencyP50 = 0;
+    double dmaLatencyP99 = 0;
+    double dmaLatencyMax = 0;
+
+    /// Critical-path stage blame over all root requests, in blamed ticks.
+    /// Request tracing is force-enabled (in-memory) for every DSE run, so
+    /// this is always populated; stage names plus a final "unattributed"
+    /// entry, in ReqStage declaration order. Shares of the summed total sum
+    /// to 100% by construction.
+    std::vector<std::pair<std::string, double>> stageBlame;
+    std::string reqtracePath;    ///< Sidecar path, when one was written.
 
     /// Per-master round-trip latency on the memory bus ("latency.<suffix>"
     /// distributions), always collected — the Xbar maintains them whether

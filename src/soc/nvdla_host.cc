@@ -10,7 +10,12 @@ NvdlaHost::NvdlaHost(Simulation& sim, std::string objName, const Params& params,
       port_(name() + ".port", *this),
       advanceEvent_([this] { advance(); }, name() + ".advance"),
       csbWrites_(stats_.scalar("csbWrites", "configuration writes issued")),
-      statusPolls_(stats_.scalar("statusPolls", "status-register polls")) {}
+      statusPolls_(stats_.scalar("statusPolls", "status-register polls")) {
+    // The job's root request ID. Allocated here — not at startup — so the
+    // prefetcher (constructed after the host, before run()) can parent its
+    // DMA descriptors under the job.
+    requestId_ = sim.allocRequestId();
+}
 
 void NvdlaHost::startup() {
     // Trace load: data segments into main memory (functional, as the real
@@ -33,6 +38,11 @@ void NvdlaHost::startup() {
         }
     }
     loaded_ = true;
+    // The job begins here (even when gated on release()): the prefetch that
+    // runs before release is part of this job's end-to-end window.
+    if (SimObserver* obs = threadObserver()) {
+        obs->requestBegin(requestId_, 0, "nvdlaJob", curTick());
+    }
     if (params_.waitForRelease && !released_) return;
     state_ = State::kWriteRegs;
     startTick_ = curTick();
@@ -59,6 +69,12 @@ void NvdlaHost::advance() {
     case State::kWriteRegs: {
         if (nextRegWrite_ >= trace_.regWrites.size()) {
             state_ = State::kPollStatus;
+            pollStartTick_ = curTick();
+            // The configuration stream is done: [startTick_, now) is the
+            // job's host-side programming (hostLoad) stage.
+            if (SimObserver* obs = threadObserver()) {
+                obs->requestSpan(requestId_, ReqStage::kHostLoad, startTick_, curTick());
+            }
             eventQueue().schedule(advanceEvent_,
                                   clockEdge(params_.pollIntervalCycles));
             return;
@@ -66,6 +82,7 @@ void NvdlaHost::advance() {
         const auto& rw = trace_.regWrites[nextRegWrite_];
         auto pkt = makeWritePacket(params_.csbBase + rw.addr, 8);
         pkt->set<std::uint64_t>(rw.data);
+        pkt->setReqId(requestId_);
         pendingSend_ = std::move(pkt);
         ++csbWrites_;
         trySend();
@@ -73,6 +90,7 @@ void NvdlaHost::advance() {
     }
     case State::kPollStatus: {
         pendingSend_ = makeReadPacket(params_.csbBase + models::NvdlaDesign::kStatusReg, 8);
+        pendingSend_->setReqId(requestId_);
         ++statusPolls_;
         trySend();
         return;
@@ -80,6 +98,7 @@ void NvdlaHost::advance() {
     case State::kReadChecksum: {
         pendingSend_ =
             makeReadPacket(params_.csbBase + models::NvdlaDesign::kChecksumReg, 8);
+        pendingSend_->setReqId(requestId_);
         trySend();
         return;
     }
@@ -102,6 +121,12 @@ bool NvdlaHost::handleResp(PacketPtr& pkt) {
     case State::kPollStatus: {
         const std::uint64_t status = pkt->get<std::uint64_t>();
         if ((status & 2u) != 0) {  // Done bit.
+            // The poll window is the job's compute stage: the accelerator
+            // owned the work from the last config write to the done bit.
+            if (SimObserver* obs = threadObserver()) {
+                obs->requestSpan(requestId_, ReqStage::kRtlCompute, pollStartTick_,
+                                 curTick());
+            }
             state_ = State::kReadChecksum;
             eventQueue().reschedule(advanceEvent_, clockEdge(1));
         } else {
@@ -113,6 +138,12 @@ bool NvdlaHost::handleResp(PacketPtr& pkt) {
         checksumRead_ = pkt->get<std::uint64_t>();
         state_ = State::kFinished;
         finishTick_ = curTick();
+        // Note: the dmaSpm path appends an ofmap drain after this; the drain
+        // descriptor is a child of this job, so the blame window stretches
+        // past this explicit end to cover it (effective-end rule).
+        if (SimObserver* obs = threadObserver()) {
+            obs->requestEnd(requestId_, curTick());
+        }
         if (doneCallback_) doneCallback_();
         break;
     default:

@@ -48,6 +48,11 @@ public:
     bool finished() const { return state_ == State::kFinished; }
     Tick startTick() const { return startTick_; }
     Tick finishTick() const { return finishTick_; }
+
+    /// The job's causal-tracing root ID (allocated at construction, so
+    /// helpers wired before startup — the SPM prefetcher — can parent their
+    /// own work under it).
+    ReqId requestId() const { return requestId_; }
     std::uint64_t checksumRead() const { return checksumRead_; }
     bool checksumOk() const { return checksumRead_ == trace_.expectedChecksum; }
 
@@ -90,7 +95,9 @@ private:
     bool awaitingResp_ = false;
     Tick startTick_ = 0;
     Tick finishTick_ = 0;
+    Tick pollStartTick_ = 0;  ///< kWriteRegs -> kPollStatus transition.
     std::uint64_t checksumRead_ = 0;
+    ReqId requestId_ = 0;
 
     stats::Scalar& csbWrites_;
     stats::Scalar& statusPolls_;

@@ -26,7 +26,9 @@ PmuObserver::PmuObserver(Simulation& sim, std::string objName, const Params& par
       gem5Probe_(std::move(gem5Probe)),
       kickEvent_([this] { issueNext(); }, name() + ".kick"),
       interrupts_(stats_.scalar("interrupts", "PMU interrupts observed")),
-      readouts_(stats_.scalar("readouts", "complete counter readouts")) {}
+      readouts_(stats_.scalar("readouts", "complete counter readouts")) {
+    scriptRequest_ = sim.allocRequestId();
+}
 
 std::vector<PmuObserver::RegWrite> PmuObserver::fig5Config(std::uint64_t intervalCycles) {
     using models::PmuDesign;
@@ -41,6 +43,9 @@ std::vector<PmuObserver::RegWrite> PmuObserver::fig5Config(std::uint64_t interva
 }
 
 void PmuObserver::startup() {
+    if (SimObserver* obs = threadObserver()) {
+        obs->requestBegin(scriptRequest_, 0, "pmuScript", curTick());
+    }
     if (!configWrites_.empty()) {
         configuring_ = true;
         nextConfig_ = 0;
@@ -63,6 +68,12 @@ void PmuObserver::startReadout() {
     nextRead_ = 0;
     current_ = Sample{};
     current_.irqTick = curTick();
+    // Each interrupt readout is its own child request (allocated whether or
+    // not anyone listens, to keep the ID stream config-deterministic).
+    readoutRequest_ = sim_.allocRequestId();
+    if (SimObserver* obs = threadObserver()) {
+        obs->requestBegin(readoutRequest_, scriptRequest_, "pmuReadout", curTick());
+    }
     // Snapshot the simulator's own statistics at the interrupt instant —
     // the "gem5 statistics" curve of Fig. 5.
     if (gem5Probe_) {
@@ -83,6 +94,7 @@ void PmuObserver::issueNext() {
         if (nextConfig_ < configWrites_.size()) {
             auto pkt = makeWritePacket(params_.pmuBase + configWrites_[nextConfig_].addr, 8);
             pkt->set<std::uint64_t>(configWrites_[nextConfig_].data);
+            pkt->setReqId(scriptRequest_);
             pendingSend_ = std::move(pkt);
             trySend();
         }
@@ -90,12 +102,14 @@ void PmuObserver::issueNext() {
     }
     if (nextRead_ < kNumReads) {
         pendingSend_ = makeReadPacket(params_.pmuBase + kReadOffsets[nextRead_], 8);
+        pendingSend_->setReqId(readoutRequest_);
         trySend();
         return;
     }
     // All counters read: clear the interrupt.
     auto clear = makeWritePacket(params_.pmuBase + models::PmuDesign::kIrqStatusReg, 8);
     clear->set<std::uint64_t>(0);
+    clear->setReqId(readoutRequest_);
     pendingSend_ = std::move(clear);
     trySend();
 }
@@ -126,8 +140,13 @@ bool PmuObserver::handleResp(PacketPtr& pkt) {
         if (!kickEvent_.scheduled()) eventQueue().schedule(kickEvent_, clockEdge(1));
         return true;
     }
-    // The IRQ-clear write completed: the sample is done.
+    // The IRQ-clear write completed: the sample is done. The whole readout is
+    // interrupt-handler work running on the host, so it bills as hostLoad.
     pkt.reset();
+    if (SimObserver* obs = threadObserver()) {
+        obs->requestSpan(readoutRequest_, ReqStage::kHostLoad, current_.irqTick, curTick());
+        obs->requestEnd(readoutRequest_, curTick());
+    }
     samples_.push_back(current_);
     ++readouts_;
     readoutActive_ = false;

@@ -97,6 +97,10 @@ private:
     CallbackEvent kickEvent_;
 
     std::vector<RegWrite> configWrites_;
+    /// Causal tracing: the whole script is one root request; each interrupt
+    /// readout is a child whose hostLoad span covers IRQ to sample-complete.
+    ReqId scriptRequest_ = 0;
+    ReqId readoutRequest_ = 0;
     std::size_t nextConfig_ = 0;
     bool configuring_ = false;
     bool readoutActive_ = false;

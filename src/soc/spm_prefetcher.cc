@@ -19,14 +19,16 @@ void SpmPrefetcher::startup() {
         return;
     }
     for (const Region& region : regions_) {
-        dma_.enqueue(DmaEngine::Descriptor{
+        DmaEngine::Descriptor desc{
             region.addr, region.addr, region.bytes, DmaEngine::Direction::kMemToSpm,
             [this] {
                 if (--remaining_ == 0) {
                     doneTick_ = curTick();
                     if (doneCallback_) doneCallback_();
                 }
-            }});
+            }};
+        desc.parent = parentRequest_;
+        dma_.enqueue(std::move(desc));
     }
 }
 

@@ -26,6 +26,10 @@ public:
     /// Invoked once when every segment has been staged into the SPM.
     void setDoneCallback(std::function<void()> cb) { doneCallback_ = std::move(cb); }
 
+    /// Parent the prefetch descriptors under @p id (the host job's root
+    /// request), so staging work shows up in that job's critical path.
+    void setParentRequest(ReqId id) { parentRequest_ = id; }
+
     bool done() const { return remaining_ == 0; }
     Tick doneTick() const { return doneTick_; }
 
@@ -42,6 +46,7 @@ private:
     std::function<void()> doneCallback_;
     std::size_t remaining_ = 0;
     Tick doneTick_ = 0;
+    ReqId parentRequest_ = 0;
 };
 
 }  // namespace g5r

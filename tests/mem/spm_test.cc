@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "common/test_requester.hh"
+#include "sim/observer.hh"
 #include "mem/simple_mem.hh"
 #include "mem/spm.hh"
 
@@ -114,6 +116,70 @@ TEST(Spm, LineCrossingMissFetchesEveryLineOnce) {
     EXPECT_EQ(h.stat("spm.fills"), 2.0);
     EXPECT_EQ(h.stat("spm.readMisses"), 2.0);
     EXPECT_EQ(h.spm.residentLines(), 2u);
+}
+
+/// Collects requestSpan callbacks so tests can assert on the causal-tracing
+/// spans the SPM emits (sim/observer.hh).
+struct SpanRecorder : SimObserver {
+    struct Recorded {
+        ReqId id;
+        ReqStage stage;
+        Tick begin;
+        Tick end;
+    };
+    void dispatchBegin(const Event&, Tick) override {}
+    void dispatchEnd(Tick) override {}
+    void requestSpan(ReqId id, ReqStage stage, Tick begin, Tick end) override {
+        spans.push_back(Recorded{id, stage, begin, end});
+    }
+    std::vector<Recorded> spans;
+};
+
+TEST(Spm, MshrJoinersEachGetTheirOwnFillSpan) {
+    // Two tagged reads miss on the same absent line; the second joins the
+    // first's in-flight fill (one fill, one mshrJoin). The fill packet keeps
+    // the first waiter's ReqId, but *each* read reports its own kSpmFill
+    // span — from its own arrival to the shared ready tick — so every
+    // request's trace shows the stall it actually experienced.
+    Harness h;
+    SpanRecorder rec;
+    h.sim.setObserver(&rec);
+    h.dramStore.store<std::uint64_t>(0x4000, 7);
+    auto first = makeReadPacket(0x4000, 64);
+    first->setReqId(11);
+    auto second = makeReadPacket(0x4000, 64);
+    second->setReqId(22);
+    h.req.issueAt(0, std::move(first));
+    h.req.issueAt(5'000, std::move(second));
+    h.sim.run();
+
+    ASSERT_EQ(h.req.numResponses(), 2u);
+    EXPECT_EQ(h.stat("spm.fills"), 1.0);
+    EXPECT_EQ(h.stat("spm.readMisses"), 2.0);
+    EXPECT_EQ(h.stat("spm.mshrJoins"), 1.0);
+
+    ASSERT_EQ(rec.spans.size(), 2u);
+    const auto& s1 = rec.spans[0];
+    const auto& s2 = rec.spans[1];
+    EXPECT_EQ(s1.id, 11u);
+    EXPECT_EQ(s2.id, 22u);
+    EXPECT_EQ(s1.stage, ReqStage::kSpmFill);
+    EXPECT_EQ(s2.stage, ReqStage::kSpmFill);
+    EXPECT_EQ(s1.begin, 0u);
+    EXPECT_EQ(s2.begin, 5'000u);  // The joiner's stall starts at *its* arrival.
+    EXPECT_GE(s1.end, Harness::dramParams().latency);
+    EXPECT_GE(s2.end, s1.end);  // Shared fill: both become ready together.
+}
+
+TEST(Spm, UntaggedMissesEmitNoSpans) {
+    Harness h;
+    SpanRecorder rec;
+    h.sim.setObserver(&rec);
+    h.req.issueAt(0, makeReadPacket(0x4000, 64));
+    h.sim.run();
+    ASSERT_EQ(h.req.numResponses(), 1u);
+    EXPECT_EQ(h.stat("spm.fills"), 1.0);
+    EXPECT_TRUE(rec.spans.empty());
 }
 
 TEST(Spm, SameBankAccessesConflictAcrossBanksDoNot) {
